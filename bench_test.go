@@ -1,0 +1,220 @@
+package ssos
+
+import (
+	"testing"
+
+	"ssos/internal/asm"
+	"ssos/internal/core"
+	"ssos/internal/expt"
+	"ssos/internal/fault"
+	"ssos/internal/guest"
+	"ssos/internal/isa"
+	"ssos/internal/mem"
+)
+
+// Experiment benchmarks: one per DESIGN.md experiment, running the
+// quick configuration so `go test -bench` regenerates every result in
+// reduced form. cmd/ssos-bench runs the full versions.
+
+func benchOptions(i int) expt.Options {
+	return expt.Options{Quick: true, Seed: int64(i)}
+}
+
+func BenchmarkE1RAMCorruption(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.E1RAMCorruption(benchOptions(i))
+	}
+}
+
+func BenchmarkE2ArbitraryState(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.E2ArbitraryState(benchOptions(i))
+	}
+}
+
+func BenchmarkE3Baseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.E3FaultRateComparison(benchOptions(i))
+	}
+}
+
+func BenchmarkE4MonitorRepair(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.E4MonitorRepair(benchOptions(i))
+	}
+}
+
+func BenchmarkE5PeriodSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.E5PeriodSweep(benchOptions(i))
+	}
+}
+
+func BenchmarkE6Primitive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.E6Primitive(benchOptions(i))
+	}
+}
+
+func BenchmarkE7Scheduler(b *testing.B) {
+	o := benchOptions(0)
+	o.Trials = 2
+	for i := 0; i < b.N; i++ {
+		o.Seed = int64(i)
+		expt.E7Scheduler(o)
+	}
+}
+
+func BenchmarkE8Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.E8Overhead(benchOptions(i))
+	}
+}
+
+func BenchmarkE9Checkpoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.E9Checkpoint(benchOptions(i))
+	}
+}
+
+func BenchmarkE10TokenRing(b *testing.B) {
+	o := benchOptions(0)
+	o.Trials = 3
+	for i := 0; i < b.N; i++ {
+		o.Seed = int64(i)
+		expt.E10TokenRing(o)
+	}
+}
+
+func BenchmarkE11Protection(b *testing.B) {
+	o := benchOptions(0)
+	o.Trials = 2
+	for i := 0; i < b.N; i++ {
+		o.Seed = int64(i)
+		expt.E11Protection(o)
+	}
+}
+
+func BenchmarkE12Adaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.E12AdaptiveWatchdog(benchOptions(i))
+	}
+}
+
+func BenchmarkE13Tickful(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.E13TickfulSilentFaults(benchOptions(i))
+	}
+}
+
+// Micro-benchmarks: the substrate costs underlying every experiment.
+
+// BenchmarkMachineStep measures raw simulator throughput on the guest
+// kernel's main loop (steps per second drive every experiment above).
+func BenchmarkMachineStep(b *testing.B) {
+	s := core.MustNew(core.Config{Approach: core.ApproachBaseline})
+	s.Run(10000) // past boot
+	b.ResetTimer()
+	s.Run(b.N)
+}
+
+// BenchmarkMachineStepScheduler measures throughput with the 5.2
+// scheduler context-switching every quantum.
+func BenchmarkMachineStepScheduler(b *testing.B) {
+	s := core.MustNew(core.Config{Approach: core.ApproachScheduler})
+	s.Run(10000)
+	b.ResetTimer()
+	s.Run(b.N)
+}
+
+// BenchmarkReinstallCycle measures one full watchdog reinstall cycle:
+// NMI delivery, Figure 1 image copy and guest restart.
+func BenchmarkReinstallCycle(b *testing.B) {
+	s := core.MustNew(core.Config{Approach: core.ApproachReinstall})
+	s.Run(10000)
+	cycle := int(s.Cfg.WatchdogPeriod)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(cycle)
+	}
+}
+
+// BenchmarkRecoveryFromBlast measures end-to-end recovery: OS image
+// destroyed, machine run until legal heartbeats resume.
+func BenchmarkRecoveryFromBlast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := core.MustNew(core.Config{Approach: core.ApproachReinstall})
+		s.Run(20000)
+		inj := fault.NewInjector(s.M, int64(i))
+		inj.RandomizeRegion(mem.Region{Name: "os", Start: uint32(guest.OSSeg) << 4, Size: guest.ImageSize})
+		faultStep := s.Steps()
+		s.Run(int(s.Cfg.WatchdogPeriod) + 3*guest.ImageSize)
+		if _, ok := s.Spec().RecoveredAfter(s.Heartbeat.Writes(), faultStep, 5); !ok {
+			b.Fatal("no recovery")
+		}
+	}
+}
+
+// BenchmarkAssembler measures assembling the Figures 2-5 scheduler.
+func BenchmarkAssembler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := guest.BuildScheduler(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssemblerKernel measures assembling the padded guest kernel.
+func BenchmarkAssemblerKernel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := guest.BuildKernel(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecode measures raw instruction decode.
+func BenchmarkDecode(b *testing.B) {
+	code := isa.Inst{Op: isa.OpMovRM, R1: uint8(isa.AX),
+		Mem: isa.MemOp{Seg: isa.SS, Base: isa.BaseBX, Disp: 0x100}}.Encode(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := isa.Decode(code); !ok {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+// BenchmarkSystemConstruction measures building a full system from the
+// cached guest programs (per-trial cost in every experiment).
+func BenchmarkSystemConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		core.MustNew(core.Config{Approach: core.ApproachMonitor})
+	}
+}
+
+// BenchmarkProgramAssembleListing exercises the assembler end to end on
+// a synthetic program with labels, data and padding.
+func BenchmarkProgramAssembleListing(b *testing.B) {
+	src := `
+V equ 0x100
+%pad on
+start:
+	mov ax, V
+	add ax, bx
+	cmp ax, 0x200
+	jb start
+	mov word [ss:V-2], ax
+%pad off
+	dw start, V
+	times 16 db 0xEE
+`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := asm.Assemble(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = p.ListingString()
+	}
+}

@@ -1,0 +1,117 @@
+// Command ssos-bench regenerates every reproduction experiment (E1-E8
+// and figures F1-F5 from DESIGN.md) and prints the tables and ASCII
+// figures. With -markdown it emits the experiment section consumed by
+// EXPERIMENTS.md; with -csv DIR it additionally writes each figure's
+// data as CSV.
+//
+// Usage:
+//
+//	ssos-bench [-quick] [-trials N] [-seed S] [-markdown] [-csv DIR] [-only E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ssos/internal/expt"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller trial counts and horizons")
+	trials := flag.Int("trials", 0, "override trials per experiment cell")
+	seed := flag.Int64("seed", 1, "base random seed")
+	markdown := flag.Bool("markdown", false, "emit markdown tables instead of ASCII")
+	csvDir := flag.String("csv", "", "directory to write figure CSV data into")
+	only := flag.String("only", "", "run only the experiment with this ID (e.g. E5)")
+	flag.Parse()
+
+	o := expt.Options{Quick: *quick, Trials: *trials, Seed: *seed}
+
+	var report *expt.Report
+	if *only == "" {
+		report = expt.All(o)
+	} else {
+		report = runOne(strings.ToUpper(*only), o)
+		if report == nil {
+			fmt.Fprintf(os.Stderr, "ssos-bench: unknown experiment %q\n", *only)
+			os.Exit(2)
+		}
+	}
+
+	for _, t := range report.Tables {
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+	for _, s := range report.Series {
+		fmt.Println(s.Render())
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ssos-bench:", err)
+			os.Exit(1)
+		}
+		for _, s := range report.Series {
+			path := filepath.Join(*csvDir, s.ID+".csv")
+			if err := os.WriteFile(path, []byte(s.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "ssos-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "wrote", path)
+		}
+	}
+}
+
+func runOne(id string, o expt.Options) *expt.Report {
+	r := &expt.Report{}
+	switch id {
+	case "E1":
+		r.Tables = append(r.Tables, expt.E1RAMCorruption(o))
+	case "E2", "F1":
+		t, f := expt.E2ArbitraryState(o)
+		r.Tables = append(r.Tables, t)
+		r.Series = append(r.Series, f)
+	case "E3", "F2":
+		t, f := expt.E3FaultRateComparison(o)
+		r.Tables = append(r.Tables, t)
+		r.Series = append(r.Series, f)
+	case "E4":
+		r.Tables = append(r.Tables, expt.E4MonitorRepair(o))
+	case "E5", "F3":
+		t, f := expt.E5PeriodSweep(o)
+		r.Tables = append(r.Tables, t)
+		r.Series = append(r.Series, f)
+	case "E6":
+		r.Tables = append(r.Tables, expt.E6Primitive(o))
+		r.Series = append(r.Series, expt.E6FairnessFigure(o))
+	case "F4":
+		r.Series = append(r.Series, expt.E6FairnessFigure(o))
+	case "E7":
+		r.Tables = append(r.Tables, expt.E7Scheduler(o))
+	case "E8", "F5":
+		t, f := expt.E8Overhead(o)
+		r.Tables = append(r.Tables, t)
+		r.Series = append(r.Series, f)
+	case "E9", "F6":
+		t, f := expt.E9Checkpoint(o)
+		r.Tables = append(r.Tables, t)
+		r.Series = append(r.Series, f)
+	case "E10":
+		r.Tables = append(r.Tables, expt.E10TokenRing(o))
+	case "E11":
+		r.Tables = append(r.Tables, expt.E11Protection(o))
+	case "E12":
+		r.Tables = append(r.Tables, expt.E12AdaptiveWatchdog(o))
+	case "E13":
+		r.Tables = append(r.Tables, expt.E13TickfulSilentFaults(o))
+	default:
+		return nil
+	}
+	return r
+}

@@ -1,0 +1,178 @@
+// Command ssos-run boots one of the self-stabilizing systems, optionally
+// injects a transient fault mid-run, and reports what the system did:
+// heartbeat legality, recovery point, machine statistics.
+//
+// Usage:
+//
+//	ssos-run -approach reinstall -steps 500000 -fault os-blast -at 100000
+//
+// Approaches: baseline, reinstall, continue, monitor, primitive,
+// scheduler. Faults: none, bitflip, os-blast, cpu-blast, pc, all-ram,
+// table-blast (scheduler), proc-code (scheduler).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ssos/internal/core"
+	"ssos/internal/fault"
+	"ssos/internal/guest"
+	"ssos/internal/mem"
+	"ssos/internal/trace"
+)
+
+var approaches = map[string]core.Approach{
+	"baseline":   core.ApproachBaseline,
+	"reinstall":  core.ApproachReinstall,
+	"continue":   core.ApproachContinue,
+	"monitor":    core.ApproachMonitor,
+	"primitive":  core.ApproachPrimitive,
+	"scheduler":  core.ApproachScheduler,
+	"checkpoint": core.ApproachCheckpoint,
+	"adaptive":   core.ApproachAdaptive,
+}
+
+func main() {
+	approach := flag.String("approach", "reinstall", "system design: baseline|reinstall|continue|monitor|primitive|scheduler|checkpoint")
+	steps := flag.Int("steps", 500000, "total steps to run")
+	period := flag.Uint("period", 0, "watchdog period / scheduling quantum (0 = default)")
+	faultKind := flag.String("fault", "none", "fault to inject: none|bitflip|os-blast|cpu-blast|pc|all-ram|table-blast|proc-code")
+	at := flag.Int("at", 100000, "step at which the fault is injected")
+	seed := flag.Int64("seed", 1, "fault-injection seed")
+	stock := flag.Bool("stock-nmi", false, "disable the paper's NMI-counter hardware")
+	ring := flag.Bool("ring", false, "run the Dijkstra token-ring workload (scheduler only)")
+	protect := flag.Bool("protect", false, "enable the memory-protection extension (scheduler only)")
+	traceN := flag.Int("trace", 0, "dump the last N executed steps at the end")
+	flag.Parse()
+
+	a, ok := approaches[*approach]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ssos-run: unknown approach %q\n", *approach)
+		os.Exit(2)
+	}
+	cfg := core.Config{
+		Approach:          a,
+		WatchdogPeriod:    uint32(*period),
+		DisableNMICounter: *stock,
+	}
+	if *ring {
+		cfg.Workload = core.WorkloadTokenRing
+	}
+	cfg.ProtectMemory = *protect
+	s, err := core.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssos-run:", err)
+		os.Exit(1)
+	}
+	var rec *trace.Recorder
+	if *traceN > 0 {
+		rec = trace.NewRecorder(s.M, *traceN)
+		s.M.AfterStep = rec.Observe
+	}
+
+	if *at > *steps {
+		*at = *steps
+	}
+	s.Run(*at)
+	faultStep := s.Steps()
+	if *faultKind != "none" {
+		inj := fault.NewInjector(s.M, *seed)
+		if err := inject(s, inj, *faultKind); err != nil {
+			fmt.Fprintln(os.Stderr, "ssos-run:", err)
+			os.Exit(2)
+		}
+		for _, r := range inj.Log {
+			fmt.Println("fault:", r)
+		}
+	}
+	s.Run(*steps - *at)
+
+	fmt.Printf("approach=%v steps=%d instrs=%d nmis=%d irqs=%d exceptions=%d resets=%d\n",
+		a, s.Steps(), s.M.Stats.Instrs, s.M.Stats.NMIs, s.M.Stats.IRQs,
+		s.M.Stats.Exceptions, s.M.Stats.Resets)
+	if s.Watchdog != nil {
+		fmt.Printf("watchdog: period=%d fires=%d\n", s.Watchdog.Period, s.Watchdog.Fires)
+	}
+
+	if s.Heartbeat != nil {
+		reportStream("heartbeat", s, faultStep)
+		if s.Repairs != nil {
+			fmt.Printf("repairs: %d", s.Repairs.Total())
+			for _, r := range s.Repairs.Writes() {
+				fmt.Printf(" [step %d code %#x]", r.Step, r.Value)
+			}
+			fmt.Println()
+		}
+	}
+	for i, c := range s.ProcBeats {
+		spec := s.ProcSpec(i)
+		w := c.Writes()
+		legal := len(w) - spec.LegalSuffixStart(w)
+		fmt.Printf("process %d: beats=%d legal-suffix=%d\n", i, c.Total(), legal)
+	}
+	if s.Cfg.Workload == core.WorkloadTokenRing {
+		fmt.Printf("token ring: privileges=%v x=[", s.RingPrivileges())
+		for i := 0; i < guest.RingMembers; i++ {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Print(s.RingX(i))
+		}
+		fmt.Println("]")
+	}
+	if s.Checkpoint != nil {
+		fmt.Printf("checkpoint: snapshots=%d restores=%d period=%d\n",
+			s.Checkpoint.Snapshots, s.Checkpoint.Restores, s.Cfg.CheckpointPeriod)
+	}
+	if rec != nil {
+		fmt.Println("last steps:")
+		fmt.Print(rec.Dump())
+	}
+}
+
+func reportStream(name string, s *core.System, faultStep uint64) {
+	w := s.Heartbeat.Writes()
+	spec := s.Spec()
+	fmt.Printf("%s: beats=%d\n", name, s.Heartbeat.Total())
+	viol := spec.Violations(w, s.Steps())
+	for i, v := range viol {
+		if i >= 5 {
+			fmt.Printf("  ... %d more violations\n", len(viol)-i)
+			break
+		}
+		fmt.Println("  violation:", v)
+	}
+	if step, ok := spec.RecoveredAfter(w, faultStep, 10); ok {
+		fmt.Printf("  recovered: legal from step %d (%d steps after fault point)\n",
+			step, step-faultStep)
+	} else {
+		fmt.Println("  NOT recovered by end of run")
+	}
+}
+
+func inject(s *core.System, inj *fault.Injector, kind string) error {
+	switch kind {
+	case "bitflip":
+		inj.FlipRAMBit()
+	case "os-blast":
+		inj.RandomizeRegion(mem.Region{Name: "os", Start: uint32(guest.OSSeg) << 4, Size: guest.ImageSize})
+	case "cpu-blast":
+		inj.BlastCPU()
+	case "pc":
+		inj.CorruptIP()
+		inj.CorruptSegment()
+	case "all-ram":
+		inj.BlastRAM()
+	case "table-blast":
+		inj.RandomizeRegion(mem.Region{Name: "table", Start: uint32(guest.SchedSeg) << 4,
+			Size: guest.ProcessTableOff + guest.NumProcs*guest.ProcessEntrySize})
+	case "proc-code":
+		inj.RandomizeRegion(mem.Region{Name: "p0",
+			Start: uint32(guest.ProcCodeSeg(0)) << 4, Size: guest.ProcRegionSize})
+	default:
+		return fmt.Errorf("unknown fault %q", kind)
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+// Package ssos is a Go reproduction of "Toward Self-Stabilizing
+// Operating Systems" (Dolev & Yagel): a simulated Pentium-real-mode
+// machine with the paper's proposed recovery hardware (self-stabilizing
+// watchdog, NMI counter, ROM-anchored handlers), an assembler for its
+// guest code, the paper's three stabilizer designs (periodic reinstall,
+// executable refresh with predicate monitoring, and the tailored
+// Section 5 schedulers), deterministic fault injection, and the
+// experiment harness that reproduces the paper's claims.
+//
+// Start at internal/core for the system builders, DESIGN.md for the
+// architecture and experiment index, and examples/quickstart for a
+// guided run. The root-level benchmarks (bench_test.go) regenerate a
+// quick version of every experiment; cmd/ssos-bench produces the full
+// tables recorded in EXPERIMENTS.md.
+package ssos

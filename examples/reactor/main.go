@@ -1,0 +1,98 @@
+// Reactor controller: the paper's second motivating scenario — "The
+// controllers of critical facility (e.g., nuclear reactor) may
+// experience unexpected fault (e.g., electrical spike) that will cause
+// it to reach unexpected state, which may lead to harmful results."
+//
+// This example runs the approach-2 system (Section 4: reinstall the
+// executable, monitor the state with consistency predicates) as a
+// controller, injects targeted state corruptions an electrical spike
+// might cause, and prints the monitor's repair log: which predicate
+// detected each corruption, how fast, and that the controller's
+// sequence counter survived.
+//
+// Run with: go run ./examples/reactor
+package main
+
+import (
+	"fmt"
+
+	"ssos/internal/core"
+	"ssos/internal/fault"
+	"ssos/internal/guest"
+)
+
+func main() {
+	fmt.Println("== reactor controller: approach 2 (monitor & repair) ==")
+	sys := core.MustNew(core.Config{Approach: core.ApproachMonitor})
+	fmt.Printf("predicates checked every %d steps by the ROM monitor:\n", sys.Cfg.WatchdogPeriod)
+	fmt.Println("  P1: canary word == 0xC0DE")
+	fmt.Println("  P2: task index < number of tasks")
+	fmt.Println("  P3: checksum == sum(task run counters)")
+	fmt.Println("  P4: interrupted cs:ip lies within controller code")
+	fmt.Println("  P5: IPC queue head/tail address the ring")
+	fmt.Println()
+
+	sys.Run(150000)
+
+	osBase := uint32(guest.OSSeg) << 4
+	spikes := []struct {
+		name   string
+		strike func(*fault.Injector)
+	}{
+		{"spike flips the canary word", func(in *fault.Injector) {
+			sys.M.Bus.PokeRAM(osBase+guest.VarCanary, 0x00)
+		}},
+		{"spike corrupts the task dispatcher index", func(in *fault.Injector) {
+			sys.M.Bus.PokeRAM(osBase+guest.VarTaskIdx+1, 0x40)
+		}},
+		{"spike clobbers a task accounting counter", func(in *fault.Injector) {
+			sys.M.Bus.PokeRAM(osBase+guest.VarTaskRuns+2, 0x99)
+			sys.M.Bus.PokeRAM(osBase+guest.VarTaskRuns+3, 0x99)
+		}},
+		{"spike throws the program counter into the weeds", func(in *fault.Injector) {
+			in.CorruptIP()
+		}},
+	}
+
+	names := map[uint16]string{
+		guest.RepairCanary:   "P1 canary restored",
+		guest.RepairTaskIdx:  "P2 task index clamped",
+		guest.RepairChecksum: "P3 checksum rebuilt from counters",
+		guest.RepairResume:   "P4 resume address invalid -> restarted at controller entry",
+	}
+
+	inj := fault.NewInjector(sys.M, 7)
+	for _, spike := range spikes {
+		preBeats := sys.Heartbeat.Writes()
+		var preCounter uint16
+		if len(preBeats) > 0 {
+			preCounter = preBeats[len(preBeats)-1].Value
+		}
+		preRepairs := sys.Repairs.Total()
+		strikeStep := sys.Steps()
+		spike.strike(inj)
+		fmt.Printf("step %8d: %s\n", strikeStep, spike.name)
+
+		sys.Run(2 * int(sys.Cfg.WatchdogPeriod))
+		for _, r := range sys.Repairs.Writes() {
+			if r.Step >= strikeStep {
+				fmt.Printf("step %8d:   monitor: %s (+%d steps)\n",
+					r.Step, names[r.Value], r.Step-strikeStep)
+			}
+		}
+		if sys.Repairs.Total() == preRepairs {
+			fmt.Printf("              monitor: no repair needed (state already legal)\n")
+		}
+		w := sys.Heartbeat.Writes()
+		if len(w) > 0 && w[len(w)-1].Value > preCounter {
+			fmt.Printf("              controller sequence counter: preserved (%d -> %d)\n",
+				preCounter, w[len(w)-1].Value)
+		}
+		sys.Repairs.Reset()
+		fmt.Println()
+	}
+
+	v := sys.Spec().Violations(sys.Heartbeat.Writes(), sys.Steps())
+	fmt.Printf("end of shift: %d heartbeat-spec violations recorded over the whole run\n", len(v))
+	fmt.Println("(brief glitches around each spike are expected; every run above ended legal)")
+}

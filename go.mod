@@ -1,0 +1,3 @@
+module ssos
+
+go 1.22

@@ -1,0 +1,45 @@
+package asm_test
+
+import (
+	"fmt"
+
+	"ssos/internal/asm"
+)
+
+// Example assembles a fragment in the repository's NASM-flavoured
+// dialect — the same dialect the paper's Figures 1-5 are transcribed
+// into — and reads a symbol back.
+func Example() {
+	prog, err := asm.Assemble(`
+STACK_TOP equ 0x0800
+	mov ax, 0x3000
+	mov ss, ax
+	mov word [ss:STACK_TOP-2], ax
+done:
+	hlt
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("bytes:", len(prog.Code))
+	fmt.Printf("done at %#x\n", prog.MustSymbol("done"))
+	// Output:
+	// bytes: 13
+	// done at 0xc
+}
+
+// Example_padding shows the %pad directive that realizes the paper's
+// Section 5.2 instruction slots: every instruction starts on a 16-byte
+// boundary, so a masked instruction pointer always lands on an
+// instruction start.
+func Example_padding() {
+	prog, _ := asm.Assemble(`
+%pad on
+start:
+	inc ax
+	jmp start
+`)
+	fmt.Println("code bytes:", len(prog.Code))
+	// Output: code bytes: 32
+}

@@ -1,0 +1,212 @@
+package asm
+
+import "fmt"
+
+// exprNode is an expression AST node, evaluated against the symbol
+// table. Labels may be referenced before they are defined: sizes never
+// depend on expression values, so evaluation can wait for pass two.
+type exprNode interface {
+	eval(ctx *evalCtx) (int64, error)
+}
+
+// evalCtx supplies symbol values and the location counters for $ / $$.
+type evalCtx struct {
+	symbols map[string]int64
+	here    int64 // $: offset of the current statement
+	origin  int64 // $$: program origin
+}
+
+type numNode int64
+
+func (n numNode) eval(*evalCtx) (int64, error) { return int64(n), nil }
+
+type identNode string
+
+func (id identNode) eval(ctx *evalCtx) (int64, error) {
+	if v, ok := ctx.symbols[string(id)]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("undefined symbol %q", string(id))
+}
+
+type hereNode struct{ origin bool }
+
+func (h hereNode) eval(ctx *evalCtx) (int64, error) {
+	if h.origin {
+		return ctx.origin, nil
+	}
+	return ctx.here, nil
+}
+
+type unaryNode struct {
+	op rune
+	x  exprNode
+}
+
+func (u unaryNode) eval(ctx *evalCtx) (int64, error) {
+	v, err := u.x.eval(ctx)
+	if err != nil {
+		return 0, err
+	}
+	switch u.op {
+	case '-':
+		return -v, nil
+	case '~':
+		return ^v, nil
+	}
+	return 0, fmt.Errorf("bad unary operator %q", u.op)
+}
+
+type binNode struct {
+	op   rune
+	l, r exprNode
+}
+
+func (b binNode) eval(ctx *evalCtx) (int64, error) {
+	l, err := b.l.eval(ctx)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.r.eval(ctx)
+	if err != nil {
+		return 0, err
+	}
+	switch b.op {
+	case '+':
+		return l + r, nil
+	case '-':
+		return l - r, nil
+	case '*':
+		return l * r, nil
+	case '/':
+		if r == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return l / r, nil
+	case '%':
+		if r == 0 {
+			return 0, fmt.Errorf("modulo by zero")
+		}
+		return l % r, nil
+	}
+	return 0, fmt.Errorf("bad operator %q", b.op)
+}
+
+// tokenStream is a cursor over one line's tokens.
+type tokenStream struct {
+	toks []token
+	pos  int
+}
+
+func (ts *tokenStream) peek() token { return ts.toks[ts.pos] }
+
+func (ts *tokenStream) next() token {
+	t := ts.toks[ts.pos]
+	if t.kind != tokEOF {
+		ts.pos++
+	}
+	return t
+}
+
+func (ts *tokenStream) atEOF() bool { return ts.peek().kind == tokEOF }
+
+// acceptPunct consumes the given punctuation token if present.
+func (ts *tokenStream) acceptPunct(p string) bool {
+	if t := ts.peek(); t.kind == tokPunct && t.text == p {
+		ts.next()
+		return true
+	}
+	return false
+}
+
+// expectPunct consumes the given punctuation or fails.
+func (ts *tokenStream) expectPunct(p string) error {
+	if !ts.acceptPunct(p) {
+		return fmt.Errorf("expected %q, found %v", p, ts.peek())
+	}
+	return nil
+}
+
+// parseExpr parses an additive expression.
+func parseExpr(ts *tokenStream) (exprNode, error) {
+	left, err := parseTerm(ts)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := ts.peek()
+		if t.kind == tokPunct && (t.text == "+" || t.text == "-") {
+			ts.next()
+			right, err := parseTerm(ts)
+			if err != nil {
+				return nil, err
+			}
+			left = binNode{op: rune(t.text[0]), l: left, r: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func parseTerm(ts *tokenStream) (exprNode, error) {
+	left, err := parseFactor(ts)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := ts.peek()
+		if t.kind == tokPunct && (t.text == "*" || t.text == "/" || t.text == "%") {
+			ts.next()
+			right, err := parseFactor(ts)
+			if err != nil {
+				return nil, err
+			}
+			left = binNode{op: rune(t.text[0]), l: left, r: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func parseFactor(ts *tokenStream) (exprNode, error) {
+	t := ts.peek()
+	switch {
+	case t.kind == tokNumber:
+		ts.next()
+		return numNode(t.num), nil
+	case t.kind == tokIdent:
+		ts.next()
+		return identNode(t.text), nil
+	case t.kind == tokDollar:
+		ts.next()
+		return hereNode{}, nil
+	case t.kind == tokDollarDollar:
+		ts.next()
+		return hereNode{origin: true}, nil
+	case t.kind == tokPunct && t.text == "-":
+		ts.next()
+		x, err := parseFactor(ts)
+		if err != nil {
+			return nil, err
+		}
+		return unaryNode{op: '-', x: x}, nil
+	case t.kind == tokPunct && t.text == "~":
+		ts.next()
+		x, err := parseFactor(ts)
+		if err != nil {
+			return nil, err
+		}
+		return unaryNode{op: '~', x: x}, nil
+	case t.kind == tokPunct && t.text == "(":
+		ts.next()
+		x, err := parseExpr(ts)
+		if err != nil {
+			return nil, err
+		}
+		if err := ts.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, fmt.Errorf("expected expression, found %v", t)
+}

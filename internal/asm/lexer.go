@@ -1,0 +1,164 @@
+// Package asm implements a two-pass assembler for the machine's ISA
+// with a NASM-flavoured syntax, close enough to the paper's listings
+// that Figures 1-5 transcribe almost line for line: labels, equ
+// constants, org, db/dw data, times repetition, expressions with
+// labels, `mov word [ss:STACK_TOP-2], ax` style operands, and `rep
+// movsb`.
+//
+// It adds one directive the paper's Section 5.2 calls for: `%pad on`
+// pads every subsequent instruction with nops to a fixed 16-byte slot,
+// so that a corrupted instruction pointer masked to a slot boundary
+// always addresses an instruction start.
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind uint8
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokString
+	tokPunct // single-rune punctuation: , : [ ] ( ) + - * / % ~
+	tokDollar
+	tokDollarDollar
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of line"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexLine tokenizes one source line. The comment part (from ';') must
+// already be stripped.
+func lexLine(line string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(line)
+	for i < n {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '$':
+			if i+1 < n && line[i+1] == '$' {
+				toks = append(toks, token{kind: tokDollarDollar, text: "$$", col: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokDollar, text: "$", col: i})
+				i++
+			}
+		case isIdentStart(c):
+			j := i + 1
+			for j < n && isIdentPart(line[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: line[i:j], col: i})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i + 1
+			for j < n && (isIdentPart(line[j])) {
+				j++
+			}
+			v, err := parseNumber(line[i:j])
+			if err != nil {
+				return nil, fmt.Errorf("col %d: %v", i+1, err)
+			}
+			toks = append(toks, token{kind: tokNumber, text: line[i:j], num: v, col: i})
+			i = j
+		case c == '\'':
+			j := i + 1
+			for j < n && line[j] != '\'' {
+				j++
+			}
+			if j >= n || j != i+2 {
+				return nil, fmt.Errorf("col %d: bad character literal", i+1)
+			}
+			toks = append(toks, token{kind: tokNumber, text: line[i : j+1], num: int64(line[i+1]), col: i})
+			i = j + 1
+		case c == '"':
+			j := i + 1
+			for j < n && line[j] != '"' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("col %d: unterminated string", i+1)
+			}
+			toks = append(toks, token{kind: tokString, text: line[i+1 : j], col: i})
+			i = j + 1
+		case strings.ContainsRune(",:[]()+-*/%~", rune(c)):
+			toks = append(toks, token{kind: tokPunct, text: string(c), col: i})
+			i++
+		default:
+			return nil, fmt.Errorf("col %d: unexpected character %q", i+1, c)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, col: n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '.' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// parseNumber handles decimal, 0x hex and 0b binary literals.
+func parseNumber(s string) (int64, error) {
+	base := 10
+	digits := s
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		base = 16
+		digits = s[2:]
+	} else if strings.HasPrefix(s, "0b") || strings.HasPrefix(s, "0B") {
+		base = 2
+		digits = s[2:]
+	}
+	if digits == "" {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	var v int64
+	for _, c := range []byte(digits) {
+		var d int
+		switch {
+		case c >= '0' && c <= '9':
+			d = int(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = int(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = int(c-'A') + 10
+		case c == '_':
+			continue
+		default:
+			return 0, fmt.Errorf("bad number %q", s)
+		}
+		if d >= base {
+			return 0, fmt.Errorf("bad number %q", s)
+		}
+		v = v*int64(base) + int64(d)
+		if v > 1<<32 {
+			return 0, fmt.Errorf("number %q too large", s)
+		}
+	}
+	return v, nil
+}

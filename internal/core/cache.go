@@ -1,0 +1,69 @@
+package core
+
+import (
+	"sync"
+
+	"ssos/internal/guest"
+)
+
+// Assembled guest programs are immutable, so experiment loops that
+// build thousands of systems share one assembly of each component.
+var buildCache struct {
+	once sync.Once
+	err  error
+
+	kernelPlain   *guest.Kernel
+	kernelPadded  *guest.Kernel
+	kernelTickful *guest.Kernel
+	reinstall     *guest.Handler
+	cont          *guest.Handler
+	monitor       *guest.Handler
+	checkpoint    *guest.Handler
+	sched         *guest.Scheduler
+	schedDS       *guest.Scheduler
+	schedProt     *guest.Scheduler
+	procs         *guest.ProcSet
+	ringProcs     *guest.ProcSet
+	prim          *guest.Primitive
+}
+
+func buildAll() error {
+	buildCache.once.Do(func() {
+		c := &buildCache
+		set := func(err error) {
+			if c.err == nil && err != nil {
+				c.err = err
+			}
+		}
+		var err error
+		c.kernelPlain, err = guest.BuildKernel(false)
+		set(err)
+		c.kernelPadded, err = guest.BuildKernel(true)
+		set(err)
+		c.kernelTickful, err = guest.BuildTickfulKernel()
+		set(err)
+		c.reinstall, err = guest.BuildReinstallHandler()
+		set(err)
+		c.cont, err = guest.BuildContinueHandler()
+		set(err)
+		if c.kernelPadded != nil {
+			c.monitor, err = guest.BuildMonitorHandler(c.kernelPadded)
+			set(err)
+		}
+		c.checkpoint, err = guest.BuildCheckpointHandler()
+		set(err)
+		c.sched, err = guest.BuildScheduler(false)
+		set(err)
+		c.schedDS, err = guest.BuildScheduler(true)
+		set(err)
+		c.schedProt, err = guest.BuildSchedulerOpts(guest.SchedOptions{ValidateDS: true, Protect: true})
+		set(err)
+		c.procs, err = guest.BuildProcesses()
+		set(err)
+		c.ringProcs, err = guest.BuildRingProcesses()
+		set(err)
+		c.prim, err = guest.BuildPrimitive()
+		set(err)
+	})
+	return buildCache.err
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"ssos/internal/dev"
+	"ssos/internal/guest"
+	"ssos/internal/machine"
+	"ssos/internal/mem"
+)
+
+// newKernelSystem builds the guest-OS-based systems: baseline,
+// approach 1 (reinstall / continue) and approach 2 (monitor).
+func newKernelSystem(cfg Config) (*System, error) {
+	if err := buildAll(); err != nil {
+		return nil, err
+	}
+
+	padded := cfg.PaddedKernel
+	if cfg.Approach == ApproachMonitor {
+		padded = true // the monitor masks the resume ip to slot starts
+	}
+	kernel := buildCache.kernelPlain
+	if padded {
+		kernel = buildCache.kernelPadded
+	}
+	if cfg.TickfulKernel {
+		switch cfg.Approach {
+		case ApproachBaseline, ApproachReinstall, ApproachAdaptive:
+		default:
+			return nil, fmt.Errorf("core: the tickful kernel supports baseline, reinstall and adaptive, not %v", cfg.Approach)
+		}
+		if padded {
+			return nil, fmt.Errorf("core: the tickful kernel has no padded variant")
+		}
+		kernel = buildCache.kernelTickful
+	}
+
+	var handler *guest.Handler
+	switch cfg.Approach {
+	case ApproachBaseline, ApproachReinstall, ApproachAdaptive:
+		handler = buildCache.reinstall
+	case ApproachContinue:
+		handler = buildCache.cont
+	case ApproachMonitor:
+		handler = buildCache.monitor
+	case ApproachCheckpoint:
+		handler = buildCache.checkpoint
+	default:
+		return nil, fmt.Errorf("core: %v is not a kernel system", cfg.Approach)
+	}
+
+	bus, err := busWithROMs(
+		romSpec{"os-image", uint32(guest.OSROMSeg) << 4, kernel.Image()},
+		romSpec{"stabilizer", uint32(guest.HandlerROMSeg) << 4, handler.Prog.Code},
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.NMICounterMax == 0 {
+		// The longest handler path copies the full image byte by byte.
+		cfg.NMICounterMax = guest.ImageSize + DefaultNMISlack
+	}
+	if cfg.WatchdogPeriod == 0 {
+		cfg.WatchdogPeriod = DefaultWatchdogPeriod
+	}
+	cfg.PaddedKernel = padded
+
+	opts := machine.Options{
+		NMICounter:         !cfg.DisableNMICounter,
+		NMICounterMax:      cfg.NMICounterMax,
+		HardwiredNMIVector: true,
+		NMIVector:          handler.NMIEntry(),
+		FixedIDTR:          true,
+		ExceptionPolicy:    machine.ExceptionVector,
+		ExceptionVector:    handler.ExcEntry(),
+		ResetVector:        handler.BootEntry(),
+	}
+	if cfg.Approach == ApproachBaseline {
+		// A conventional system: exceptions crash the machine.
+		opts.ExceptionPolicy = machine.ExceptionHalt
+	}
+	if cfg.StockVectoring {
+		// Stock plumbing: everything vectors through a RAM IDT via a
+		// writable IDTR (the paper's introduction hazard).
+		opts.HardwiredNMIVector = false
+		opts.FixedIDTR = false
+		if opts.ExceptionPolicy == machine.ExceptionVector {
+			opts.ExceptionPolicy = machine.ExceptionIDT
+		}
+	}
+
+	m := machine.New(bus, opts)
+	if cfg.StockVectoring {
+		// Initialize the IDT at base 0 as the BIOS would. It lives in
+		// RAM: transient faults can corrupt both it and the IDTR.
+		m.SetIDTEntry(machine.VecNMI, handler.NMIEntry())
+		m.SetIDTEntry(machine.VecInvalidOpcode, handler.ExcEntry())
+		m.SetIDTEntry(machine.VecGP, handler.ExcEntry())
+	}
+	sys := &System{M: m, Cfg: cfg, Kernel: kernel}
+	if cfg.Approach == ApproachAdaptive {
+		// The silence watchdog observes the heartbeat port itself,
+		// wrapping the recording console; the watchdog period plays
+		// the role of the silence limit.
+		console := dev.NewConsole(func() uint64 { return m.Stats.Steps }, cfg.ConsoleCap)
+		sys.Heartbeat = console
+		sys.Silence = dev.NewSilenceWatchdog(console, cfg.WatchdogPeriod)
+		m.MapPort(guest.PortHeartbeat, sys.Silence)
+		m.AddTicker(sys.Silence)
+	} else {
+		sys.Heartbeat = attachConsole(m, guest.PortHeartbeat, cfg.ConsoleCap)
+	}
+	if cfg.Approach == ApproachMonitor {
+		sys.Repairs = attachConsole(m, guest.PortRepair, cfg.ConsoleCap)
+	}
+	if cfg.Approach != ApproachBaseline && cfg.Approach != ApproachAdaptive {
+		sys.Watchdog = dev.NewWatchdog(cfg.WatchdogPeriod, cfg.WatchdogTarget)
+		m.AddTicker(sys.Watchdog)
+	}
+	if cfg.TickfulKernel {
+		if cfg.TimerPeriod == 0 {
+			cfg.TimerPeriod = DefaultTimerPeriod
+			sys.Cfg.TimerPeriod = cfg.TimerPeriod
+		}
+		sys.Timer = dev.NewTimer(cfg.TimerPeriod, machine.VecTimer)
+		m.AddTicker(sys.Timer)
+	}
+	if cfg.Approach == ApproachCheckpoint {
+		if cfg.CheckpointPeriod == 0 {
+			// Two thirds of the watchdog period, deliberately not a
+			// divisor of it: snapshot and rollback instants interleave
+			// instead of coinciding, so some rollbacks find a pre-fault
+			// snapshot. (An aligned schedule would snapshot the
+			// corruption in the same tick the rollback fires.)
+			cfg.CheckpointPeriod = cfg.WatchdogPeriod * 2 / 3
+			sys.Cfg.CheckpointPeriod = cfg.CheckpointPeriod
+		}
+		sys.Checkpoint = dev.NewCheckpointer(bus, mem.Region{
+			Name:  "os-checkpoint",
+			Start: uint32(guest.OSSeg) << 4,
+			Size:  guest.ImageSize,
+		}, cfg.CheckpointPeriod)
+		m.AddTicker(sys.Checkpoint)
+		m.MapPort(guest.PortCheckpoint, sys.Checkpoint)
+	}
+	return sys, nil
+}

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"testing"
+
+	"ssos/internal/guest"
+)
+
+func TestResumeRepairFires(t *testing.T) {
+	s := MustNew(Config{Approach: ApproachMonitor})
+	s.Run(100000)
+	s.Run(5000)         // move away from the period boundary
+	s.M.CPU.IP = 0x5000 // beyond kernel code, within OS segment
+	s.Run(int(s.Cfg.WatchdogPeriod) * 2)
+	found := false
+	for _, r := range s.Repairs.Writes() {
+		t.Logf("repair: step=%d code=%#x", r.Step, r.Value)
+		if r.Value == guest.RepairResume {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("RepairResume never reported")
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"ssos/internal/fault"
+	"ssos/internal/guest"
+	"ssos/internal/mem"
+)
+
+func newRing(t *testing.T) *System {
+	t.Helper()
+	return MustNew(Config{Approach: ApproachScheduler, Workload: WorkloadTokenRing})
+}
+
+func TestRingTokenCirculates(t *testing.T) {
+	s := newRing(t)
+	since, ok := s.RingConverged(2000000, 500, 100)
+	if !ok {
+		t.Fatalf("ring never converged; privileges=%v x=[%d %d %d]",
+			s.RingPrivileges(), s.RingX(0), s.RingX(1), s.RingX(2))
+	}
+	t.Logf("converged at step %d", since)
+	// All members keep making moves after convergence.
+	before := make([]uint64, guest.RingMembers)
+	for i := range before {
+		before[i] = s.ProcBeats[i].Total()
+	}
+	s.Run(500000)
+	for i := 0; i < guest.RingMembers; i++ {
+		if s.ProcBeats[i].Total() <= before[i] {
+			t.Fatalf("member %d stopped moving", i)
+		}
+	}
+}
+
+func TestRingStabilizesFromArbitraryTokenValues(t *testing.T) {
+	// Dijkstra's theorem on our substrate: any initial x values
+	// converge to a single circulating privilege.
+	s := newRing(t)
+	s.Run(200000)
+	// Adversarial x assignment: all distinct → many privileges.
+	for i := 0; i < guest.RingMembers; i++ {
+		addr := guest.RingXAddr(i)
+		s.M.Bus.PokeRAM(addr, byte(37*i+11))
+		s.M.Bus.PokeRAM(addr+1, byte(i))
+	}
+	if _, ok := s.RingConverged(3000000, 500, 100); !ok {
+		t.Fatalf("ring did not re-converge; privileges=%v", s.RingPrivileges())
+	}
+}
+
+func TestRingSurvivesSchedulerFaults(t *testing.T) {
+	// The composition claim, end to end: corrupt the OS layer (process
+	// table AND the ring variables); the scheduler stabilizes first,
+	// then the application stabilizes above it.
+	s := newRing(t)
+	s.Run(200000)
+	inj := fault.NewInjector(s.M, 5)
+	inj.RandomizeRegion(mem.Region{
+		Name:  "table",
+		Start: uint32(guest.SchedSeg) << 4,
+		Size:  guest.ProcessTableOff + guest.NumProcs*guest.ProcessEntrySize,
+	})
+	for i := 0; i < guest.RingMembers; i++ {
+		inj.CorruptByteIn(mem.Region{Name: "x", Start: guest.RingXAddr(i), Size: 2})
+	}
+	if _, ok := s.RingConverged(4000000, 500, 100); !ok {
+		t.Fatalf("composition failed; privileges=%v", s.RingPrivileges())
+	}
+}
+
+func TestRingPrivilegeAccounting(t *testing.T) {
+	s := newRing(t)
+	// Force a known configuration (machine not yet run past boot).
+	set := func(i int, v uint16) {
+		addr := guest.RingXAddr(i)
+		s.M.Bus.PokeRAM(addr, byte(v))
+		s.M.Bus.PokeRAM(addr+1, byte(v>>8))
+	}
+	set(0, 3)
+	set(1, 3)
+	set(2, 3)
+	// x0==x2 → root privileged only.
+	p := s.RingPrivileges()
+	if len(p) != 1 || p[0] != 0 {
+		t.Fatalf("privileges: %v", p)
+	}
+	set(1, 4) // member1 differs from member0 AND member2 differs from member1
+	p = s.RingPrivileges()
+	if len(p) != 3 {
+		t.Fatalf("privileges: %v", p)
+	}
+}

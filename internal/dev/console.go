@@ -1,0 +1,77 @@
+package dev
+
+// PortWrite is one value written by the guest to an output port,
+// stamped with the machine step at which it happened.
+type PortWrite struct {
+	Step  uint64
+	Value uint16
+}
+
+// Console is an output-port device that records everything the guest
+// writes. Guests use it for heartbeats and telemetry; monitors inspect
+// the recorded stream to decide whether the system behaves according to
+// its specification.
+type Console struct {
+	// Clock supplies the current step stamp; wire it to the machine's
+	// step counter. A nil clock stamps zero.
+	Clock func() uint64
+	// Max bounds the number of retained writes; older writes are
+	// dropped. Zero means unlimited.
+	Max int
+
+	writes  []PortWrite
+	total   uint64
+	dropped uint64
+}
+
+// NewConsole returns a console stamping writes with clock and keeping
+// at most maxWrites entries (0 = unlimited).
+func NewConsole(clock func() uint64, maxWrites int) *Console {
+	return &Console{Clock: clock, Max: maxWrites}
+}
+
+// In reads as zero: the console is write-only.
+func (c *Console) In(uint16) uint16 { return 0 }
+
+// Out records the written value.
+func (c *Console) Out(_ uint16, v uint16) {
+	var step uint64
+	if c.Clock != nil {
+		step = c.Clock()
+	}
+	c.writes = append(c.writes, PortWrite{Step: step, Value: v})
+	c.total++
+	if c.Max > 0 && len(c.writes) > c.Max {
+		drop := len(c.writes) - c.Max
+		c.writes = append(c.writes[:0], c.writes[drop:]...)
+		c.dropped += uint64(drop)
+	}
+}
+
+// Writes returns the retained writes in order.
+func (c *Console) Writes() []PortWrite {
+	out := make([]PortWrite, len(c.writes))
+	copy(out, c.writes)
+	return out
+}
+
+// Total returns the number of writes ever made (including dropped).
+func (c *Console) Total() uint64 { return c.total }
+
+// Dropped returns how many old writes were discarded due to Max.
+func (c *Console) Dropped() uint64 { return c.dropped }
+
+// Reset discards all recorded writes and counters.
+func (c *Console) Reset() {
+	c.writes = c.writes[:0]
+	c.total = 0
+	c.dropped = 0
+}
+
+// Last returns the most recent write, if any.
+func (c *Console) Last() (PortWrite, bool) {
+	if len(c.writes) == 0 {
+		return PortWrite{}, false
+	}
+	return c.writes[len(c.writes)-1], true
+}

@@ -1,0 +1,70 @@
+// Package dev implements the peripheral devices of the simulated
+// system: the self-stabilizing watchdog the paper adds to the hardware,
+// a console/heartbeat output port and a periodic timer.
+package dev
+
+import "ssos/internal/machine"
+
+// WatchdogTarget selects which processor pin the watchdog drives.
+type WatchdogTarget uint8
+
+const (
+	// TargetNMI pulses the non-maskable-interrupt pin (the paper's
+	// default wiring, used by all tailored designs).
+	TargetNMI WatchdogTarget = iota
+	// TargetReset pulses the reset pin (an option for the first two
+	// schemes, Section 2: "it may trigger the reset pin instead").
+	TargetReset
+)
+
+// Watchdog is the paper's self-stabilizing watchdog: a countdown
+// register with a maximal value equal to the desired interval. From ANY
+// state (including a fault-corrupted counter) a signal is triggered
+// within the interval, and no premature signal is triggered thereafter:
+// the counter is clamped to the register's maximal value on every tick,
+// so a corrupted out-of-range value behaves like the maximal value.
+type Watchdog struct {
+	// Period is the desired interval in clock ticks between signals.
+	Period uint32
+	// Counter is the countdown register. Exported so fault injectors
+	// can corrupt it; corruption is harmless by design.
+	Counter uint32
+	// Target selects the pin to pulse.
+	Target WatchdogTarget
+	// Fires counts signals since creation.
+	Fires uint64
+}
+
+// NewWatchdog returns a watchdog that fires every period ticks,
+// starting one full period from now.
+func NewWatchdog(period uint32, target WatchdogTarget) *Watchdog {
+	if period == 0 {
+		period = 1
+	}
+	return &Watchdog{Period: period, Counter: period - 1, Target: target}
+}
+
+// Tick advances the countdown; at zero it pulses the target pin and
+// reloads.
+func (w *Watchdog) Tick(m *machine.Machine) {
+	if w.Period == 0 {
+		w.Period = 1
+	}
+	if w.Counter >= w.Period {
+		// The physical register cannot hold more than the maximal
+		// value; a corrupted simulation state converges here.
+		w.Counter = w.Period - 1
+	}
+	if w.Counter == 0 {
+		w.Fires++
+		switch w.Target {
+		case TargetNMI:
+			m.RaiseNMI()
+		case TargetReset:
+			m.RaiseReset()
+		}
+		w.Counter = w.Period - 1
+		return
+	}
+	w.Counter--
+}

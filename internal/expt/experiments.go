@@ -1,0 +1,639 @@
+package expt
+
+import (
+	"fmt"
+
+	"ssos/internal/core"
+	"ssos/internal/fault"
+	"ssos/internal/guest"
+	"ssos/internal/isa"
+	"ssos/internal/mem"
+	"ssos/internal/trace"
+)
+
+// fmtPct renders a percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%.0f%%", v) }
+
+// fmtSteps renders a step count.
+func fmtSteps(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// osRegion returns the guest OS RAM region (or a sub-range of it).
+func osRegion(off, size uint32) mem.Region {
+	return mem.Region{Name: "os", Start: uint32(guest.OSSeg)<<4 + off, Size: size}
+}
+
+// E1RAMCorruption reproduces the paper's Section 3 Bochs experiment at
+// scale: "we changed the contents of the RAM during execution of the
+// code, and observed that the procedure ensures stabilization".
+func E1RAMCorruption(o Options) *Table {
+	t := &Table{
+		ID:    "E1",
+		Title: "Approach 1: recovery from RAM corruption (the paper's Bochs experiment)",
+		Claim: "the watchdog/reinstall procedure ensures the processor eventually " +
+			"continues to execute the correct code of the operating system (Section 3)",
+		Columns: []string{"fault class", "trials", "recovered", "latency p50", "latency p95", "latency max"},
+	}
+	trials := o.trials(40)
+	horizon := o.horizon(200000)
+
+	classes := []struct {
+		name   string
+		inject func(*core.System, *fault.Injector)
+	}{
+		{"1 bit flip in RAM", func(s *core.System, in *fault.Injector) { in.FlipRAMBit() }},
+		{"64-byte burst in OS code", func(s *core.System, in *fault.Injector) {
+			for i := 0; i < 64; i++ {
+				in.CorruptByteIn(osRegion(0, uint32(guest.DataOff)))
+			}
+		}},
+		{"64-byte burst in OS data", func(s *core.System, in *fault.Injector) {
+			for i := 0; i < 64; i++ {
+				in.CorruptByteIn(osRegion(uint32(guest.DataOff), guest.DataLen))
+			}
+		}},
+		{"whole OS image randomized", func(s *core.System, in *fault.Injector) {
+			in.RandomizeRegion(osRegion(0, guest.ImageSize))
+		}},
+		{"stack region randomized", func(s *core.System, in *fault.Injector) {
+			in.RandomizeRegion(mem.Region{Name: "stack", Start: uint32(guest.StackSeg) << 4, Size: 0x1000})
+		}},
+		{"program counter randomized", func(s *core.System, in *fault.Injector) {
+			in.CorruptIP()
+			in.CorruptSegment()
+		}},
+	}
+	for _, c := range classes {
+		var ts trialSet
+		inject := c.inject
+		forEachTrial(trials, func(i int) interface{} {
+			return measureRecovery(core.Config{Approach: core.ApproachReinstall},
+				o.Seed+int64(i), 30000+i*137, horizon, 10, inject)
+		}, func(_ int, r interface{}) {
+			ts.add(r.(recoveryResult))
+		})
+		st := summarize(ts.latencies)
+		t.AddRow(c.name, fmt.Sprint(trials), fmtPct(ts.recoveredPct()),
+			fmtSteps(st.p50), fmtSteps(st.p95), fmtSteps(st.max))
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"watchdog period %d steps; recovery latency is bounded by one period plus the handler length (%d)",
+		core.DefaultWatchdogPeriod, guest.ImageSize+16))
+	return t
+}
+
+// E2ArbitraryState measures Theorem 3.4: from ANY initial configuration
+// (all RAM and every CPU register randomized) the approach-1 system
+// reaches a weakly legal suffix — and quantifies the role of the
+// paper's NMI-counter hardware by repeating the trial on stock NMI
+// latching.
+func E2ArbitraryState(o Options) (*Table, *Series) {
+	t := &Table{
+		ID:    "E2",
+		Title: "Approach 1: convergence from arbitrary configurations (Theorem 3.4)",
+		Claim: "every infinite execution of the system has a suffix in the weakly " +
+			"legal execution set, given the proposed NMI-counter hardware",
+		Columns: []string{"hardware", "trials", "converged", "convergence p50", "p95", "max"},
+	}
+	trials := o.trials(60)
+	horizon := o.horizon(400000)
+
+	var cdf []float64
+	for _, hw := range []struct {
+		name     string
+		disable  bool
+		stockVec bool
+	}{
+		{"NMI counter (paper)", false, false},
+		{"stock NMI latch", true, false},
+		{"RAM idt + writable idtr", false, true},
+	} {
+		var ts trialSet
+		disable, stockVec := hw.disable, hw.stockVec
+		forEachTrial(trials, func(i int) interface{} {
+			s := core.MustNew(core.Config{
+				Approach:          core.ApproachReinstall,
+				DisableNMICounter: disable,
+				StockVectoring:    stockVec,
+			})
+			inj := fault.NewInjector(s.M, o.Seed+int64(1000+i))
+			inj.BlastRAM()
+			inj.BlastCPU()
+			s.Run(horizon)
+			step, ok := s.Spec().RecoveredAfter(s.Heartbeat.Writes(), 0, 10)
+			return recoveryResult{recovered: ok, latency: step}
+		}, func(_ int, r interface{}) {
+			ts.add(r.(recoveryResult))
+		})
+		st := summarize(ts.latencies)
+		t.AddRow(hw.name, fmt.Sprint(trials), fmtPct(ts.recoveredPct()),
+			fmtSteps(st.p50), fmtSteps(st.p95), fmtSteps(st.max))
+		if !hw.disable && !hw.stockVec {
+			for _, l := range ts.latencies {
+				cdf = append(cdf, float64(l))
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"the stock latch loses the trials whose random initial state has InNMI set: "+
+			"NMIs stay masked forever, exactly the hazard motivating the NMI counter (Section 1)")
+	t.Notes = append(t.Notes,
+		"the stock-vectoring row keeps the counter but routes NMIs and exceptions through "+
+			"a RAM idt addressed by a randomized idtr — the introduction's second hazard; "+
+			"recovery then depends on garbage execution stumbling into the handler")
+
+	s := summarizeCDF("F1", "Convergence-time distribution from arbitrary configurations",
+		"quantile", "steps to convergence", cdf)
+	return t, s
+}
+
+// summarizeCDF renders a sorted sample as a CDF series.
+func summarizeCDF(id, title, xl, yl string, sample []float64) *Series {
+	xs := make([]float64, len(sample))
+	ys := append([]float64(nil), sample...)
+	sortFloats(ys)
+	for i := range ys {
+		xs[i] = float64(i+1) / float64(len(ys))
+	}
+	return &Series{ID: id, Title: title, XLabel: xl, YLabel: yl,
+		Lines: []Line{{Name: "convergence", X: xs, Y: ys}}}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// E3FaultRateComparison measures availability under sustained soft-error
+// rates for the baseline and each stabilizing kernel design — the
+// paper's implicit comparison ("none of the above suggest a design ...
+// that can withstand any combination of transient-faults").
+func E3FaultRateComparison(o Options) (*Table, *Series) {
+	t := &Table{
+		ID:    "E3",
+		Title: "Availability under sustained soft-error rates",
+		Claim: "ordinary operating systems do not recover from transient faults; " +
+			"the stabilizing designs keep converging back to legal operation",
+		Columns: []string{"faults/step", "baseline", "reinstall", "continue", "monitor"},
+	}
+	horizon := o.horizon(400000)
+	rates := []float64{0, 1e-6, 1e-5, 1e-4}
+	approaches := []core.Approach{
+		core.ApproachBaseline, core.ApproachReinstall,
+		core.ApproachContinue, core.ApproachMonitor,
+	}
+	lines := make([]Line, len(approaches))
+	for i, a := range approaches {
+		lines[i].Name = a.String()
+	}
+	for _, rate := range rates {
+		row := []string{fmt.Sprintf("%g", rate)}
+		for ai, a := range approaches {
+			s := core.MustNew(core.Config{Approach: a})
+			inj := fault.NewInjector(s.M, o.Seed+int64(ai)+int64(rate*1e7))
+			detach := inj.Rate(rate)
+			s.Run(horizon)
+			detach()
+			av := availability(s.Heartbeat.Writes(), specFor(s), s.Steps())
+			row = append(row, fmt.Sprintf("%.3f", av))
+			lines[ai].X = append(lines[ai].X, rate)
+			lines[ai].Y = append(lines[ai].Y, av)
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"availability = fraction of steps covered by strict successor heartbeats; "+
+			"reinstall pays a periodic restart tax even at rate 0")
+	f := &Series{ID: "F2", Title: "Availability vs fault rate",
+		XLabel: "faults/step", YLabel: "availability", Lines: lines}
+	return t, f
+}
+
+// E4MonitorRepair measures Section 4: the monitor detects and repairs
+// exactly the broken predicate, preserves legal soft state, and falls
+// back to restart only when the resume address is invalid.
+func E4MonitorRepair(o Options) *Table {
+	t := &Table{
+		ID:    "E4",
+		Title: "Approach 2: predicate repair, detection latency and state preservation",
+		Claim: "reinstall the executable portion, monitor the state and assign a " +
+			"legitimate state whenever required (Section 4)",
+		Columns: []string{"fault class", "trials", "recovered", "repair code", "detect p50", "counter preserved"},
+	}
+	trials := o.trials(30)
+	horizon := o.horizon(300000)
+
+	classes := []struct {
+		name   string
+		repair uint16 // expected repair report (0 = none required)
+		inject func(*core.System, *fault.Injector)
+	}{
+		{"canary word clobbered", guest.RepairCanary, func(s *core.System, in *fault.Injector) {
+			s.M.Bus.PokeRAM(uint32(guest.OSSeg)<<4+guest.VarCanary, 0xFF)
+		}},
+		{"task index out of range", guest.RepairTaskIdx, func(s *core.System, in *fault.Injector) {
+			s.M.Bus.PokeRAM(uint32(guest.OSSeg)<<4+guest.VarTaskIdx+1, 0x7F)
+		}},
+		{"run counter clobbered", guest.RepairChecksum, func(s *core.System, in *fault.Injector) {
+			s.M.Bus.PokeRAM(uint32(guest.OSSeg)<<4+guest.VarTaskRuns, 0xAA)
+			s.M.Bus.PokeRAM(uint32(guest.OSSeg)<<4+guest.VarTaskRuns+1, 0xBB)
+		}},
+		{"IPC queue indices clobbered", 0, func(s *core.System, in *fault.Injector) {
+			// The kernel masks the indices on every use, so it usually
+			// heals them before the next monitor pass; either layer
+			// recovering counts (no specific repair code expected).
+			s.M.Bus.PokeRAM(uint32(guest.OSSeg)<<4+guest.VarQHead+1, 0x7F)
+			s.M.Bus.PokeRAM(uint32(guest.OSSeg)<<4+guest.VarQTail+1, 0x7F)
+		}},
+		{"64-byte burst in OS code", 0, func(s *core.System, in *fault.Injector) {
+			for i := 0; i < 64; i++ {
+				in.CorruptByteIn(osRegion(0, uint32(guest.DataOff)))
+			}
+		}},
+		{"program counter randomized", guest.RepairResume, func(s *core.System, in *fault.Injector) {
+			in.CorruptIP()
+			in.CorruptSegment()
+		}},
+	}
+	for _, c := range classes {
+		var ts trialSet
+		var detects []uint64
+		preserved := 0
+		for i := 0; i < trials; i++ {
+			s := core.MustNew(core.Config{Approach: core.ApproachMonitor})
+			s.Run(60000 + i*119)
+			var preFault uint16
+			if w := s.Heartbeat.Writes(); len(w) > 0 {
+				preFault = w[len(w)-1].Value
+			}
+			inj := fault.NewInjector(s.M, o.Seed+int64(i))
+			c.inject(s, inj)
+			faultStep := s.Steps()
+			s.Run(horizon)
+			step, ok := s.Spec().RecoveredAfter(s.Heartbeat.Writes(), faultStep, 10)
+			ts.add(recoveryResult{recovered: ok, latency: step - faultStep})
+			if c.repair != 0 {
+				for _, r := range s.Repairs.Writes() {
+					if r.Value == c.repair && r.Step >= faultStep {
+						detects = append(detects, r.Step-faultStep)
+						break
+					}
+				}
+			}
+			if w := s.Heartbeat.Writes(); ok && len(w) > 0 && w[len(w)-1].Value > preFault {
+				preserved++
+			}
+		}
+		repairName := "-"
+		detect := "-"
+		if c.repair != 0 {
+			repairName = fmt.Sprintf("%#x", c.repair)
+			detect = fmtSteps(summarize(detects).p50)
+		}
+		t.AddRow(c.name, fmt.Sprint(trials), fmtPct(ts.recoveredPct()),
+			repairName, detect, fmtPct(100*float64(preserved)/float64(trials)))
+	}
+	t.Notes = append(t.Notes,
+		"counter preserved: the heartbeat kept counting past its pre-fault value "+
+			"(approach 1 scores 0% here by design — every recovery is a restart)")
+	return t
+}
+
+// E5PeriodSweep measures the watchdog-period trade-off for approach 1:
+// short periods spend the machine on reinstalls, long periods recover
+// slowly; the crossover sits where the period amortizes the handler.
+func E5PeriodSweep(o Options) (*Table, *Series) {
+	t := &Table{
+		ID:    "E5",
+		Title: "Approach 1: watchdog period vs availability",
+		Claim: "the watchdog period trades reinstall overhead against recovery " +
+			"latency (Section 3: 'when the period is long enough for the system to operate')",
+		Columns: []string{"period (steps)", "avail. fault-free", "avail. @5e-5 OS faults/step", "avail. @1e-5 silent faults/step", "recovery p50"},
+	}
+	horizon := o.horizon(400000)
+	periods := []uint32{2000, 5000, 10000, 30000, 80000, 200000}
+	ff := Line{Name: "fault-free"}
+	wf := Line{Name: "5e-5 OS faults/step"}
+	hf := Line{Name: "1e-5 silent faults/step"}
+	const osFaultRate = 5e-5
+	const haltRate = 1e-5
+	seeds := o.trials(5)
+	for _, period := range periods {
+		cfg := core.Config{Approach: core.ApproachReinstall, WatchdogPeriod: period}
+
+		s := core.MustNew(cfg)
+		s.Run(horizon)
+		av0 := availability(s.Heartbeat.Writes(), specFor(s), s.Steps())
+
+		// The faulted column targets the OS image itself: each strike
+		// randomizes one image byte, so every fault matters and the
+		// recovery-latency cost of long periods becomes visible.
+		// Averaged over seeds: whether a strike lands in live code or
+		// in image fill is luck, and one run is dominated by it.
+		var av1 float64
+		for seed := 0; seed < seeds; seed++ {
+			s2 := core.MustNew(cfg)
+			inj := fault.NewInjector(s2.M, o.Seed+int64(period)+int64(seed)*7919)
+			detach := inj.RateIn(osRegion(0, guest.ImageSize), osFaultRate)
+			s2.Run(horizon)
+			detach()
+			av1 += availability(s2.Heartbeat.Writes(), specFor(s2), s2.Steps())
+		}
+		av1 /= float64(seeds)
+
+		// Silent faults (a latched halt) raise no exception, so ONLY
+		// the watchdog recovers them: each costs about half a period
+		// of downtime, making the long-period recovery-latency cost
+		// visible. Image corruption, by contrast, mostly self-heals
+		// through the exception-vectored reinstall.
+		var av2 float64
+		for seed := 0; seed < seeds; seed++ {
+			s3 := core.MustNew(cfg)
+			inj := fault.NewInjector(s3.M, o.Seed+int64(period)*3+int64(seed)*104729)
+			detach := inj.RateHalt(haltRate)
+			s3.Run(horizon)
+			detach()
+			av2 += availability(s3.Heartbeat.Writes(), specFor(s3), s3.Steps())
+		}
+		av2 /= float64(seeds)
+
+		// Recovery latency at this period (a small trial set).
+		var ts trialSet
+		for i := 0; i < o.trials(10); i++ {
+			ts.add(measureRecovery(cfg, o.Seed+int64(i), 20000+i*211,
+				int(period)*3+100000, 10, func(s *core.System, in *fault.Injector) {
+					in.RandomizeRegion(osRegion(0, guest.ImageSize))
+				}))
+		}
+		t.AddRow(fmt.Sprint(period), fmt.Sprintf("%.3f", av0), fmt.Sprintf("%.3f", av1),
+			fmt.Sprintf("%.3f", av2), fmtSteps(summarize(ts.latencies).p50))
+		ff.X = append(ff.X, float64(period))
+		ff.Y = append(ff.Y, av0)
+		wf.X = append(wf.X, float64(period))
+		wf.Y = append(wf.Y, av1)
+		hf.X = append(hf.X, float64(period))
+		hf.Y = append(hf.Y, av2)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"the reinstall handler costs ~%d steps, so periods near it leave the guest no time; "+
+			"OS-image corruption mostly self-heals through the exception-vectored reinstall, "+
+			"while silent faults (latched halt) wait for the watchdog — the long-period cost",
+		guest.ImageSize+16))
+	f := &Series{ID: "F3", Title: "Availability vs watchdog period (approach 1)",
+		XLabel: "period (steps)", YLabel: "availability", XLog: true, Lines: []Line{ff, wf, hf}}
+	return t, f
+}
+
+// E6Primitive measures Theorem 5.1: the primitive scheduler stabilizes
+// from every program-counter value of its model and shares the machine
+// among its processes.
+func E6Primitive(o Options) *Table {
+	t := &Table{
+		ID:    "E6",
+		Title: "Primitive scheduler (5.1): stabilization sweep and fairness",
+		Claim: "starting from any program counter value, every process is executed " +
+			"infinitely often and stabilization is preserved (Theorem 5.1)",
+		Columns: append([]string{"sweep", "pc values", "stabilized"}, procShareCols()...),
+	}
+	base := core.MustNew(core.Config{Approach: core.ApproachPrimitive})
+
+	// Enumerate pc targets.
+	var aligned []uint16
+	off := 0
+	for off < int(base.Prim.CodeEnd) {
+		aligned = append(aligned, uint16(off))
+		_, size, ok := isa.Decode(base.Prim.Image[off:])
+		if !ok {
+			break
+		}
+		off += size
+	}
+	var fill []uint16
+	for f := int(base.Prim.CodeEnd); f < len(base.Prim.Image)-2; f++ {
+		fill = append(fill, uint16(f))
+	}
+	var raw []uint16
+	for f := 0; f < int(base.Prim.CodeEnd); f++ {
+		raw = append(raw, uint16(f))
+	}
+
+	sweep := func(name string, targets []uint16) {
+		if o.Quick && len(targets) > 50 {
+			targets = targets[:50]
+		}
+		stabilized := 0
+		shares := make([]float64, guest.PrimitiveNumProcs)
+		for _, tgt := range targets {
+			s := core.MustNew(core.Config{Approach: core.ApproachPrimitive})
+			s.Run(1000)
+			s.M.CPU.IP = tgt
+			faultStep := s.Steps()
+			s.Run(4000)
+			ok := true
+			for i := 0; i < guest.PrimitiveNumProcs; i++ {
+				// Recovery must happen AFTER the pc fault; the beats
+				// from the warmup must not count.
+				if _, rec := s.ProcSpec(i).RecoveredAfter(s.ProcBeats[i].Writes(), faultStep, 3); !rec {
+					ok = false
+				}
+			}
+			if ok {
+				stabilized++
+			}
+			// Count beats per process for the share columns.
+			var total float64
+			counts := make([]float64, guest.PrimitiveNumProcs)
+			for i := range counts {
+				counts[i] = float64(len(s.ProcBeats[i].Writes()))
+				total += counts[i]
+			}
+			if total > 0 {
+				for i := range counts {
+					shares[i] += counts[i] / total
+				}
+			}
+		}
+		n := float64(len(targets))
+		row := []string{name, fmt.Sprint(len(targets)), fmtPct(100 * float64(stabilized) / n)}
+		for i := range shares {
+			row = append(row, fmt.Sprintf("%.2f", shares[i]/n))
+		}
+		t.AddRow(row...)
+	}
+	sweep("instruction starts (the 5.1 model)", aligned)
+	sweep("fill region (jmp-start pattern)", fill)
+	sweep("raw bytes (outside the model)", raw)
+	t.Notes = append(t.Notes,
+		"the paper's 5.1 model assumes the pc holds an instruction start; the raw-byte "+
+			"sweep decodes operand bytes as code — a memory-operand mode byte decodes as hlt, "+
+			"which this interrupt-free design can never leave. This is the variable-"+
+			"instruction-length hazard that motivates 5.2's padding and NMI scheduling.")
+	return t
+}
+
+// procShareCols names the per-process share columns of E6.
+func procShareCols() []string {
+	out := make([]string, guest.PrimitiveNumProcs)
+	for i := range out {
+		out[i] = fmt.Sprintf("p%d share", i)
+	}
+	return out
+}
+
+// E6FairnessFigure renders per-process beat shares over time for the
+// primitive chain (figure F4).
+func E6FairnessFigure(o Options) *Series {
+	s := core.MustNew(core.Config{Approach: core.ApproachPrimitive})
+	lines := make([]Line, guest.PrimitiveNumProcs)
+	for i := range lines {
+		lines[i].Name = fmt.Sprintf("process %d", i)
+	}
+	window := o.horizon(5000)
+	for step := 0; step < 10; step++ {
+		s.Run(window)
+		for i := range lines {
+			lines[i].X = append(lines[i].X, float64(s.Steps()))
+			lines[i].Y = append(lines[i].Y, float64(s.ProcBeats[i].Total()))
+		}
+	}
+	return &Series{ID: "F4", Title: "Primitive scheduler: cumulative beats per process",
+		XLabel: "steps", YLabel: "beats", Lines: lines}
+}
+
+// E7Scheduler measures Theorem 5.5 and Lemmas 5.2-5.4: recovery of the
+// Figures 2-5 scheduler from every scheduler-state fault class, with
+// the ds-validation extension as an ablation.
+func E7Scheduler(o Options) *Table {
+	t := &Table{
+		ID:    "E7",
+		Title: "Self-stabilizing scheduler (5.2): recovery and fairness",
+		Claim: "the scheduler achieves fairness and preserves stabilization of " +
+			"processes from any state (Theorem 5.5)",
+		Columns: []string{"fault class", "trials", "recovered", "recovery p50", "min share"},
+	}
+	trials := o.trials(15)
+	// The horizon covers the worst convergence tail observed: a table
+	// blast can hand the ROM refresher's rep movsb a random cx/si/di,
+	// making it scribble up to 64 KiB (one byte per own-tick) before
+	// the copy drains and normal refreshing resumes — a hazard of
+	// resumable string operations the paper does not discuss.
+	horizon := o.horizon(2200000)
+
+	classes := []struct {
+		name   string
+		inject func(*core.System, *fault.Injector)
+	}{
+		{"process index randomized", func(s *core.System, in *fault.Injector) {
+			in.CorruptByteIn(mem.Region{Name: "idx", Start: guest.ProcessIndexAddr(), Size: 2})
+		}},
+		{"one record cs randomized", func(s *core.System, in *fault.Injector) {
+			in.CorruptByteIn(mem.Region{Name: "cs", Start: guest.ProcRecordAddr(1) + 2, Size: 2})
+		}},
+		{"one record ip randomized", func(s *core.System, in *fault.Injector) {
+			in.CorruptByteIn(mem.Region{Name: "ip", Start: guest.ProcRecordAddr(2) + 4, Size: 2})
+		}},
+		{"whole table randomized", func(s *core.System, in *fault.Injector) {
+			in.RandomizeRegion(mem.Region{Name: "table", Start: uint32(guest.SchedSeg) << 4,
+				Size: guest.ProcessTableOff + guest.NumProcs*guest.ProcessEntrySize})
+		}},
+		{"worker 0 code randomized", func(s *core.System, in *fault.Injector) {
+			in.RandomizeRegion(mem.Region{Name: "p0code",
+				Start: uint32(guest.ProcCodeSeg(0)) << 4, Size: guest.ProcRegionSize})
+		}},
+		{"all RAM + CPU randomized", func(s *core.System, in *fault.Injector) {
+			in.BlastRAM()
+			in.BlastCPU()
+		}},
+		{"all RAM + CPU randomized (+protection)", func(s *core.System, in *fault.Injector) {
+			in.BlastRAM()
+			in.BlastCPU()
+		}},
+	}
+	for ci, c := range classes {
+		var ts trialSet
+		minShare := 1.0
+		inject := c.inject
+		protect := ci == len(classes)-1
+		type e7result struct {
+			res   recoveryResult
+			share float64
+		}
+		forEachTrial(trials, func(i int) interface{} {
+			cfg := core.Config{Approach: core.ApproachScheduler, ProtectMemory: protect}
+			s := core.MustNew(cfg)
+			s.Run(80000 + i*233)
+			inj := fault.NewInjector(s.M, o.Seed+int64(i))
+			inject(s, inj)
+			faultStep := s.Steps()
+			var ranges []trace.Range
+			for p := 0; p < guest.NumProcs; p++ {
+				base := uint32(guest.ProcCodeSeg(p)) << 4
+				ranges = append(ranges, trace.Range{Name: "p", Start: base, End: base + guest.ProcRegionSize})
+			}
+			sampler := trace.NewPCSampler(ranges...)
+			s.M.AfterStep = sampler.Observe
+			s.Run(horizon)
+			out := e7result{share: sampler.MinShare()}
+			if step, ok := procRecovered(s, faultStep, 3); ok {
+				out.res = recoveryResult{recovered: true, latency: step - faultStep}
+			}
+			return out
+		}, func(_ int, r interface{}) {
+			er := r.(e7result)
+			ts.add(er.res)
+			if er.share < minShare {
+				minShare = er.share
+			}
+		})
+		t.AddRow(c.name, fmt.Sprint(trials), fmtPct(ts.recoveredPct()),
+			fmtSteps(summarize(ts.latencies).p50), fmt.Sprintf("%.2f", minShare))
+	}
+	t.Notes = append(t.Notes,
+		"recovery = every process stream (including the ROM refresher's) ends in a "+
+			"confirmed legal suffix; min share is the smallest per-process machine share observed")
+	t.Notes = append(t.Notes,
+		"the bare scheduler can be absorbed into a data-aliasing cycle from arbitrary "+
+			"configurations (the paper's own 'mixture of data space' caveat); the "+
+			"memory-protection extension row shows the cycle eliminated")
+	return t
+}
+
+// E8Overhead measures the Section 5.2 scheduling cost: the 67-ish
+// instruction context switch as a fraction of the machine, versus the
+// quantum (watchdog period).
+func E8Overhead(o Options) (*Table, *Series) {
+	t := &Table{
+		ID:    "E8",
+		Title: "Scheduler overhead vs quantum",
+		Claim: "the tailored scheduler's overhead is the fixed 67-instruction switch " +
+			"per quantum (Figures 2-5)",
+		Columns: []string{"quantum (steps)", "switch share", "beats p0", "beats p2", "beats refresher"},
+	}
+	horizon := o.horizon(400000)
+	quanta := []uint32{150, 300, 600, 1200, 2400, 4800}
+	line := Line{Name: "scheduler share"}
+	for _, q := range quanta {
+		s := core.MustNew(core.Config{Approach: core.ApproachScheduler, WatchdogPeriod: q})
+		romBase := uint32(guest.HandlerROMSeg) << 4
+		sampler := trace.NewPCSampler(trace.Range{
+			Name: "sched", Start: romBase, End: romBase + uint32(len(s.Sched.Prog.Code)),
+		})
+		s.M.AfterStep = sampler.Observe
+		s.Run(horizon)
+		share := sampler.Share(0)
+		t.AddRow(fmt.Sprint(q), fmt.Sprintf("%.4f", share),
+			fmt.Sprint(s.ProcBeats[0].Total()),
+			fmt.Sprint(s.ProcBeats[2].Total()),
+			fmt.Sprint(s.ProcBeats[guest.RefresherIndex].Total()))
+		line.X = append(line.X, float64(q))
+		line.Y = append(line.Y, share)
+	}
+	t.Notes = append(t.Notes,
+		"switch share ≈ 70/quantum: the fixed cost of Figures 2-5 amortized over the time slice")
+	f := &Series{ID: "F5", Title: "Scheduler overhead vs quantum",
+		XLabel: "quantum (steps)", YLabel: "scheduler share of instructions", XLog: true,
+		Lines: []Line{line}}
+	return t, f
+}

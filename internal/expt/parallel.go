@@ -1,0 +1,48 @@
+package expt
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachTrial runs n independent trials across worker goroutines.
+// Each trial builds its own System (systems share no mutable state;
+// the assembled guest programs in core's build cache are immutable),
+// so trials parallelize safely. Results must be accumulated through
+// the collect callback, which is serialized.
+//
+// Determinism is preserved: trial i always receives index i, and every
+// experiment derives its seeds and fault schedules from the index, so
+// the table contents do not depend on scheduling.
+func forEachTrial(n int, run func(i int) interface{}, collect func(i int, result interface{})) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			collect(i, run(i))
+		}
+		return
+	}
+	results := make([]interface{}, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = run(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		collect(i, results[i])
+	}
+}

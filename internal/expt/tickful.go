@@ -1,0 +1,69 @@
+package expt
+
+import (
+	"ssos/internal/core"
+	"ssos/internal/guest"
+	"ssos/internal/isa"
+)
+
+// E13TickfulSilentFaults measures the interrupt-driven (tickful) guest
+// under the fault class it uniquely exposes: silent losses of the
+// wake-up path. A corrupted IDT entry or an interrupt flag cleared
+// while asleep raise no exception and stop all observable behaviour —
+// the cli;hlt deadlock family. Recovery requires a NON-maskable
+// trigger, which is precisely the paper's argument for watchdog + NMI:
+// every maskable mechanism can be masked by the very fault it should
+// recover from.
+func E13TickfulSilentFaults(o Options) *Table {
+	t := &Table{
+		ID:    "E13",
+		Title: "Interrupt-driven guest: silent wake-up faults need a non-maskable trigger",
+		Claim: "the recovery trigger must be non-maskable (paper Sections 1-2: nmi " +
+			"handling from any state, including states in which interrupts are masked)",
+		Columns: []string{"fault class", "baseline", "reinstall", "adaptive"},
+	}
+	trials := o.trials(10)
+	horizon := o.horizon(300000)
+
+	classes := []struct {
+		name   string
+		strike func(s *core.System)
+	}{
+		{"timer IDT entry corrupted", func(s *core.System) {
+			s.M.Bus.PokeRAM(guest.TimerVecAddr, 0xFF)
+			s.M.Bus.PokeRAM(guest.TimerVecAddr+2, 0xFF)
+		}},
+		{"IF cleared while asleep", func(s *core.System) {
+			s.M.CPU.Flags = s.M.CPU.Flags.Without(isa.FlagIF)
+		}},
+		{"halt latch forced", func(s *core.System) {
+			s.M.CPU.Halted = true
+			s.M.CPU.Flags = s.M.CPU.Flags.Without(isa.FlagIF)
+		}},
+	}
+	approaches := []core.Approach{
+		core.ApproachBaseline, core.ApproachReinstall, core.ApproachAdaptive,
+	}
+	for _, c := range classes {
+		row := []string{c.name}
+		for _, a := range approaches {
+			var ts trialSet
+			for i := 0; i < trials; i++ {
+				s := core.MustNew(core.Config{Approach: a, TickfulKernel: true})
+				s.Run(60000 + i*397)
+				c.strike(s)
+				faultStep := s.Steps()
+				s.Run(horizon)
+				step, ok := s.Spec().RecoveredAfter(s.Heartbeat.Writes(), faultStep, 10)
+				ts.add(recoveryResult{recovered: ok, latency: step - faultStep})
+			}
+			row = append(row, fmtPct(ts.recoveredPct()))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"the guest sleeps with hlt and beats from its timer ISR; all three faults are "+
+			"exception-free. Both watchdog designs recover (the NMI wakes hlt regardless of "+
+			"IF, and the restarted init reprograms the IDT); the baseline sleeps forever.")
+	return t
+}

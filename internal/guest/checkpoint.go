@@ -1,0 +1,48 @@
+package guest
+
+import (
+	"fmt"
+
+	"ssos/internal/asm"
+)
+
+// BuildCheckpointHandler assembles the rollback-recovery comparator:
+// on every watchdog NMI (and every exception) it commands the
+// checkpoint device to restore the last snapshot of the OS region and
+// restarts execution at the OS's first instruction. Cold boot installs
+// the pristine image from ROM (Figure 1) so the first snapshot is
+// clean.
+//
+// This models the related-work recovery style (checkpoint/restart) on
+// the most favourable terms — instantaneous, incorruptible snapshots —
+// and still fails the self-stabilization bar: state corrupted before a
+// snapshot is restored as "good" forever after (experiment E9).
+func BuildCheckpointHandler() (*Handler, error) {
+	src := prelude() + fmt.Sprintf(`
+CHECKPOINT_PORT equ %#x
+CMD_RESTORE     equ %d
+`, PortCheckpoint, 1) + `
+nmi_entry:
+	; roll the OS region back to the last snapshot
+	mov ax, CMD_RESTORE
+	out CHECKPOINT_PORT, ax
+	; restart the OS from its first instruction
+	mov ax, STACK_SEG
+	mov ss, ax
+	mov sp, STACK_INIT
+	push word 0x02
+	push word OS_SEG
+	push word 0x0
+	iret
+
+boot_entry:
+` + figure1Body + `
+exc_entry:
+	jmp nmi_entry
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint handler: %w", err)
+	}
+	return &Handler{Prog: p}, nil
+}

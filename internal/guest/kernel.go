@@ -1,0 +1,234 @@
+package guest
+
+import (
+	"fmt"
+
+	"ssos/internal/asm"
+)
+
+// prelude renders the shared equ constants every guest source uses.
+func prelude() string {
+	return fmt.Sprintf(`
+OS_SEG          equ %#x
+OS_ROM_SEG      equ %#x
+HANDLER_ROM_SEG equ %#x
+STACK_SEG       equ %#x
+STACK_TOP       equ %#x
+STACK_INIT      equ %#x
+SCHED_SEG       equ %#x
+HEARTBEAT_PORT  equ %#x
+REPAIR_PORT     equ %#x
+TRACE_PORT      equ %#x
+COUNTER         equ %#x
+TASK_IDX        equ %#x
+CANARY          equ %#x
+CHECKSUM        equ %#x
+TASK_RUNS       equ %#x
+SCRATCH         equ %#x
+DATA_OFF        equ %#x
+IMAGE_SIZE      equ %#x
+NUM_TASKS       equ %#x
+TASK_MASK       equ %#x
+CANARY_VALUE    equ %#x
+QHEAD           equ %#x
+QTAIL           equ %#x
+QBUF            equ %#x
+QUEUE_CAP       equ %#x
+Q_MASK          equ %#x
+`,
+		OSSeg, OSROMSeg, HandlerROMSeg, StackSeg, StackTop, StackInit,
+		SchedSeg, PortHeartbeat, PortRepair, PortTrace,
+		VarCounter, VarTaskIdx, VarCanary, VarChecksum, VarTaskRuns, VarScratch,
+		DataOff, ImageSize, NumTasks, NumTasks-1, CanaryValue,
+		VarQHead, VarQTail, VarQBuf, QueueCap, QueueCap-1)
+}
+
+// kernelSource is the guest operating system: a telemetry kernel that
+// emits a monotonically incrementing heartbeat and runs four tasks
+// round-robin, maintaining data-structure invariants the approach-2
+// monitor can check:
+//
+//	canary   == CANARY_VALUE
+//	task_idx <  NUM_TASKS
+//	checksum == sum(task_runs) (within 1, mid-update)
+//
+// The kernel is written to be self-stabilizing *given correct code and
+// consistent data*: every main-loop iteration re-establishes ds, the
+// task index is masked before each dispatch, and no instruction depends
+// on the stack. This is exactly the obligation the paper places on the
+// software running above its stabilizers (Section 2: self-stabilizing
+// applications above a self-stabilizing OS).
+const kernelSource = `
+start:
+	mov ax, OS_SEG
+	mov ds, ax
+	mov es, ax
+	mov ax, STACK_SEG
+	mov ss, ax
+	mov sp, STACK_INIT
+	mov word [CANARY], CANARY_VALUE
+main_loop:
+	; re-establish the data segment: a transient fault in ds heals in
+	; at most one iteration.
+	mov ax, OS_SEG
+	mov ds, ax
+	; heartbeat
+	mov ax, [COUNTER]
+	inc ax
+	mov [COUNTER], ax
+	out HEARTBEAT_PORT, ax
+	; sanitize the task index, then dispatch
+	mov ax, [TASK_IDX]
+	and ax, TASK_MASK
+	mov [TASK_IDX], ax
+	cmp ax, 0
+	je task0
+	cmp ax, 1
+	je task1
+	cmp ax, 2
+	je task2
+	jmp task3
+
+task0:                      ; telemetry accumulator and IPC producer
+	mov bx, [SCRATCH]
+	add bx, 7
+	mov [SCRATCH], bx
+	mov ax, [TASK_RUNS]
+	inc ax
+	mov [TASK_RUNS], ax
+	; enqueue the telemetry word unless the ring is full; indices are
+	; masked on every use, so a corrupted index heals here too
+	mov ax, [QHEAD]
+	and ax, Q_MASK
+	mov cx, ax
+	inc cx
+	and cx, Q_MASK
+	cmp cx, [QTAIL]
+	je q_full
+	shl ax, 1
+	mov bx, ax
+	mov ax, [SCRATCH]
+	mov [bx+QBUF], ax
+	mov [QHEAD], cx
+q_full:
+	jmp bump_sum
+
+task1:                      ; bounded busy computation
+	mov cx, 8
+t1_loop:
+	mov ax, [SCRATCH+2]
+	inc ax
+	mov [SCRATCH+2], ax
+	loop t1_loop
+	mov ax, [TASK_RUNS+2]
+	inc ax
+	mov [TASK_RUNS+2], ax
+	jmp bump_sum
+
+task2:                      ; shadow copier and IPC consumer
+	mov ax, [SCRATCH]
+	mov [SCRATCH+4], ax
+	mov ax, [SCRATCH+2]
+	mov [SCRATCH+6], ax
+	mov ax, [TASK_RUNS+4]
+	inc ax
+	mov [TASK_RUNS+4], ax
+	; drain one word from the IPC ring unless empty
+	mov ax, [QTAIL]
+	and ax, Q_MASK
+	cmp ax, [QHEAD]
+	je q_empty
+	mov bx, ax
+	shl bx, 1
+	mov cx, [bx+QBUF]
+	mov bx, [SCRATCH+10]
+	add bx, cx
+	mov [SCRATCH+10], bx
+	inc ax
+	and ax, Q_MASK
+	mov [QTAIL], ax
+q_empty:
+	jmp bump_sum
+
+task3:                      ; mixer
+	mov ax, [SCRATCH]
+	add ax, [SCRATCH+2]
+	mov [SCRATCH+8], ax
+	mov ax, [TASK_RUNS+6]
+	inc ax
+	mov [TASK_RUNS+6], ax
+	jmp bump_sum
+
+bump_sum:
+	mov ax, [CHECKSUM]
+	inc ax
+	mov [CHECKSUM], ax
+	; advance the task index
+	mov ax, [TASK_IDX]
+	inc ax
+	and ax, TASK_MASK
+	mov [TASK_IDX], ax
+	jmp main_loop
+code_end:
+`
+
+// Kernel is the assembled guest OS.
+type Kernel struct {
+	// Prog is the assembled kernel program (org 0, addresses relative
+	// to OSSeg).
+	Prog *asm.Program
+	// Padded records whether the kernel was assembled in 16-byte
+	// instruction slots (required by the approach-2 monitor, which
+	// masks the resume ip to a slot boundary).
+	Padded bool
+}
+
+// BuildKernel assembles the guest OS. With padded set, every
+// instruction occupies one 16-byte slot so any slot-aligned ip is an
+// instruction start (the paper's Section 5.2 technique, reused by the
+// approach-2 monitor for resume-address validation).
+func BuildKernel(padded bool) (*Kernel, error) {
+	src := prelude()
+	if padded {
+		src += "%pad on\n"
+	}
+	src += kernelSource
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("guest kernel: %w", err)
+	}
+	codeEnd, ok := p.Symbol("code_end")
+	if !ok || codeEnd > DataOff {
+		return nil, fmt.Errorf("guest kernel: code length %#x exceeds data offset %#x", codeEnd, DataOff)
+	}
+	return &Kernel{Prog: p, Padded: padded}, nil
+}
+
+// MustBuildKernel is BuildKernel for compile-time-constant sources.
+func MustBuildKernel(padded bool) *Kernel {
+	k, err := BuildKernel(padded)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// CodeLen returns the kernel code length in bytes.
+func (k *Kernel) CodeLen() uint16 { return k.Prog.MustSymbol("code_end") }
+
+// Image renders the pristine OS image as stored in ROM: code, zero
+// fill, then the initial data section (counter = InitialCounter, canary
+// pre-set, run counters and checksum zero, consistent by construction).
+func (k *Kernel) Image() []byte {
+	img := make([]byte, ImageSize)
+	copy(img, k.Prog.Code)
+	putWord := func(off int, v uint16) {
+		img[off] = byte(v)
+		img[off+1] = byte(v >> 8)
+	}
+	putWord(VarCounter, InitialCounter)
+	putWord(VarTaskIdx, 0)
+	putWord(VarCanary, CanaryValue)
+	putWord(VarChecksum, 0)
+	return img
+}

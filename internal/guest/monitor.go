@@ -1,0 +1,171 @@
+package guest
+
+import (
+	"fmt"
+
+	"ssos/internal/asm"
+	"ssos/internal/isa"
+)
+
+// BuildMonitorHandler assembles the approach-2 stabilizer (Section 4):
+// on every NMI it
+//
+//  1. refreshes the stack registers (Figure 2 pattern: ax is saved
+//     through the possibly-corrupt ss first; a faulting store there
+//     raises an exception whose handler reinstalls everything),
+//  2. reinstalls only the *executable* portion of the OS from ROM,
+//  3. evaluates consistency predicates over the OS soft state and
+//     repairs exactly what is broken, reporting each repair on
+//     REPAIR_PORT,
+//  4. validates that the interrupted cs:ip lies within the OS code
+//     (masking ip to an instruction-slot boundary — the kernel is
+//     assembled in 16-byte slots) and resumes there, falling back to
+//     the OS's first instruction otherwise.
+//
+// Unlike approach 1 this preserves legal soft state across handler
+// runs: the heartbeat counter keeps counting, so the system satisfies
+// the strict (non-weak) legal-execution specification.
+//
+// kernel supplies the code-length bound for the resume check.
+func BuildMonitorHandler(kernel *Kernel) (*Handler, error) {
+	if !kernel.Padded {
+		return nil, fmt.Errorf("monitor handler requires a slot-padded kernel (resume ip is masked to slot boundaries)")
+	}
+	src := prelude() + fmt.Sprintf(`
+CODE_REGION     equ DATA_OFF
+KERNEL_CODE_END equ %#x
+SLOT_MASK       equ %#x
+REPAIR_CANARY   equ %#x
+REPAIR_TASKIDX  equ %#x
+REPAIR_CHECKSUM equ %#x
+REPAIR_RESUME   equ %#x
+REPAIR_QUEUE    equ %#x
+`, kernel.CodeLen(), uint16(^(uint16(isa.SlotSize-1))), RepairCanary, RepairTaskIdx, RepairChecksum, RepairResume, RepairQueue) + `
+nmi_entry:
+	; --- refresh stack registers (paper Figure 2 pattern) ---
+	mov word [ss:STACK_TOP-2], ax
+	mov ax, STACK_SEG
+	mov ss, ax
+	mov sp, STACK_TOP
+	mov word [ss:STACK_TOP-4], ds
+	mov word [ss:STACK_TOP-6], bx
+	mov word [ss:STACK_TOP-8], cx
+	mov word [ss:STACK_TOP-10], si
+	mov word [ss:STACK_TOP-12], di
+	mov word [ss:STACK_TOP-14], es
+	mov word [ss:STACK_TOP-16], dx
+
+	; --- (1) reinstall the executable portion only ---
+	mov ax, OS_ROM_SEG
+	mov ds, ax
+	mov si, 0x00
+	mov ax, OS_SEG
+	mov es, ax
+	mov di, 0x00
+	mov cx, CODE_REGION
+	cld
+	rep movsb
+
+	; --- (2) consistency predicates over the OS soft state ---
+	mov ax, OS_SEG
+	mov ds, ax
+	; P1: the canary word is intact.
+	mov ax, [CANARY]
+	cmp ax, CANARY_VALUE
+	je p1_ok
+	mov word [CANARY], CANARY_VALUE
+	mov ax, REPAIR_CANARY
+	out REPAIR_PORT, ax
+p1_ok:
+	; P2: the task index is a valid task number.
+	mov ax, [TASK_IDX]
+	cmp ax, NUM_TASKS
+	jb p2_ok
+	and ax, TASK_MASK
+	mov [TASK_IDX], ax
+	mov ax, REPAIR_TASKIDX
+	out REPAIR_PORT, ax
+p2_ok:
+	; P3: checksum == sum(task_runs), allowing one in-flight update
+	; (the kernel increments a run counter and then the checksum; an
+	; NMI may land between the two stores).
+	mov bx, TASK_RUNS
+	mov cx, NUM_TASKS
+	mov dx, 0
+p3_loop:
+	add dx, [bx]
+	add bx, 2
+	loop p3_loop
+	mov ax, [CHECKSUM]
+	mov bx, dx
+	sub bx, ax
+	cmp bx, 2
+	jb p3_ok
+	mov [CHECKSUM], dx
+	mov ax, REPAIR_CHECKSUM
+	out REPAIR_PORT, ax
+p3_ok:
+	; P5: the IPC queue indices address the ring.
+	mov ax, [QHEAD]
+	cmp ax, QUEUE_CAP
+	jb p5a_ok
+	and ax, Q_MASK
+	mov [QHEAD], ax
+	mov ax, REPAIR_QUEUE
+	out REPAIR_PORT, ax
+p5a_ok:
+	mov ax, [QTAIL]
+	cmp ax, QUEUE_CAP
+	jb p5b_ok
+	and ax, Q_MASK
+	mov [QTAIL], ax
+	mov ax, REPAIR_QUEUE
+	out REPAIR_PORT, ax
+p5b_ok:
+
+	; --- (3) validate the resume address ---
+	mov ax, [ss:STACK_TOP+2]       ; interrupted cs
+	cmp ax, OS_SEG
+	jne resume_bad
+	mov ax, [ss:STACK_TOP]         ; interrupted ip
+	; Slot-align the resume address, rounding UP: when the interrupt
+	; landed mid-slot the slot's instruction has already executed and
+	; only pad nops remain, so the next slot is the correct resume
+	; point. Rounding down would re-execute the instruction: double
+	; heartbeats, double increments, and a re-executed loop with
+	; cx=0 underflows into 64 Ki spurious iterations.
+	add ax, 15
+	and ax, SLOT_MASK
+	cmp ax, KERNEL_CODE_END
+	jae resume_bad
+	mov [ss:STACK_TOP], ax
+	jmp restore
+resume_bad:
+	mov word [ss:STACK_TOP], 0x0
+	mov word [ss:STACK_TOP+2], OS_SEG
+	mov word [ss:STACK_TOP+4], 0x02
+	mov ax, REPAIR_RESUME
+	out REPAIR_PORT, ax
+restore:
+	; --- (4) restore registers and resume ---
+	mov es, [ss:STACK_TOP-14]
+	mov di, [ss:STACK_TOP-12]
+	mov si, [ss:STACK_TOP-10]
+	mov cx, [ss:STACK_TOP-8]
+	mov dx, [ss:STACK_TOP-16]
+	mov bx, [ss:STACK_TOP-6]
+	mov ds, [ss:STACK_TOP-4]
+	mov ax, [ss:STACK_TOP-2]
+	iret
+
+boot_entry:
+` + figure1Body + `
+exc_entry:
+	jmp boot_entry
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("monitor handler: %w", err)
+	}
+	return &Handler{Prog: p}, nil
+}

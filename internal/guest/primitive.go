@@ -1,0 +1,134 @@
+package guest
+
+import (
+	"fmt"
+
+	"ssos/internal/asm"
+)
+
+// Primitive scheduler (Section 5.1). The N processes are loop-free
+// straight-line code concatenated in ROM; control simply flows from
+// the last instruction of process i into the first instruction of
+// process i+1, and the last process jumps back to the first. Every
+// unused ROM byte belongs to a self-synchronizing `jmp start` fill, so
+// a program counter pointing anywhere in the ROM reaches the first
+// instruction within a few steps (Theorem 5.1). The machine runs with
+// no interrupts; exceptions (e.g. from a corrupt PC landing mid-
+// instruction and decoding garbage) vector to the ROM start.
+//
+// Restrictions transcribed from the paper: no loops, no stack
+// operations, no halt, only forward branches to fixed addresses, data
+// at fixed addresses in distinct RAM areas per process.
+
+// PrimitiveNumProcs is the number of primitive-scheduler processes.
+const PrimitiveNumProcs = 4
+
+// primitiveSource concatenates the straight-line processes. Each
+// process re-establishes its ds (fixed, hardwired in code) and bumps a
+// counter in its own data area; process 1 maintains shadow copies and
+// process 2 a checksum, giving the fairness experiment three distinct
+// observable output streams.
+func primitiveSource() string {
+	return fmt.Sprintf(`
+P0_DATA equ %#x
+P1_DATA equ %#x
+P2_DATA equ %#x
+P3_DATA equ %#x
+P0_PORT equ %#x
+P1_PORT equ %#x
+P2_PORT equ %#x
+P3_PORT equ %#x
+
+start:
+proc0:
+	mov ax, P0_DATA
+	mov ds, ax
+	mov ax, [0]
+	inc ax
+	mov [0], ax
+	out P0_PORT, ax
+
+proc1:
+	mov ax, P1_DATA
+	mov ds, ax
+	mov ax, [0]
+	inc ax
+	mov [0], ax
+	out P1_PORT, ax
+	mov ax, [2]
+	add ax, 5
+	mov [2], ax
+	mov ax, [2]
+	mov [4], ax
+
+proc2:
+	mov ax, P2_DATA
+	mov ds, ax
+	mov ax, [0]
+	inc ax
+	mov [0], ax
+	out P2_PORT, ax
+	mov ax, [2]
+	add ax, [4]
+	mov [6], ax
+
+proc3:
+	; The alarm process uses the branch forms Section 5.1 permits:
+	; forward jumps to fixed addresses within its own code. It clamps
+	; a sensor accumulator and raises a latch when it trips.
+	mov ax, P3_DATA
+	mov ds, ax
+	mov ax, [0]
+	inc ax
+	mov [0], ax
+	out P3_PORT, ax
+	mov ax, [2]
+	add ax, 3
+	cmp ax, 0x1000
+	jbe below_limit
+	mov ax, 0x0            ; clamp the accumulator
+	mov word [4], 0x1      ; latch the alarm
+below_limit:
+	mov [2], ax
+	cmp ax, 0x800
+	jb no_warn
+	mov word [6], 0x1      ; warning level
+no_warn:
+	jmp start
+proc_end:
+`,
+		ProcDataSeg(0), ProcDataSeg(1), ProcDataSeg(2), ProcDataSeg(3),
+		PortProc0, PortProc0+1, PortProc0+2, PortProc0+3)
+}
+
+// Primitive is the assembled primitive-scheduler ROM.
+type Primitive struct {
+	Prog *asm.Program
+	// Image is the ROM image: the concatenated processes followed by
+	// the jmp-start fill, PrimitiveROMSize bytes.
+	Image []byte
+	// ProcStarts[i] is the offset of process i's first instruction.
+	ProcStarts [PrimitiveNumProcs]uint16
+	// CodeEnd is the offset one past the last process instruction.
+	CodeEnd uint16
+}
+
+// PrimitiveROMSize is the primitive scheduler ROM image size.
+const PrimitiveROMSize = 0x400
+
+// BuildPrimitive assembles the primitive scheduler ROM.
+func BuildPrimitive() (*Primitive, error) {
+	p, err := asm.Assemble(primitiveSource())
+	if err != nil {
+		return nil, fmt.Errorf("primitive scheduler: %w", err)
+	}
+	img, err := FillRegion(p.Code, PrimitiveROMSize)
+	if err != nil {
+		return nil, fmt.Errorf("primitive scheduler: %w", err)
+	}
+	pr := &Primitive{Prog: p, Image: img, CodeEnd: p.MustSymbol("proc_end")}
+	for i := 0; i < PrimitiveNumProcs; i++ {
+		pr.ProcStarts[i] = p.MustSymbol(fmt.Sprintf("proc%d", i))
+	}
+	return pr, nil
+}

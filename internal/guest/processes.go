@@ -1,0 +1,187 @@
+package guest
+
+import (
+	"fmt"
+
+	"ssos/internal/asm"
+	"ssos/internal/isa"
+)
+
+// Scheduled processes (Section 5.2). Each process is an independent
+// self-stabilizing do-forever loop, assembled in 16-byte instruction
+// slots (%pad on) so the scheduler's ip masking always resumes at an
+// instruction start:
+//
+//   - process 0: short telemetry counter (ten-ish machine lines),
+//   - process 1: medium straight-line worker,
+//   - process 2: long bounded-loop worker ("a process with a thousand
+//     sequential machine code lines", via its loop),
+//   - process 3: the refresher — runs from ROM and repeatedly reloads
+//     the code of processes 0-2 from their ROM images (the paper's
+//     Section 5.2 closing construction).
+//
+// Every process begins each iteration by re-establishing its own ds,
+// the discipline the paper demands ("the data of each process resides
+// in a distinct separate ram area") made self-stabilizing: a corrupted
+// ds heals at the top of the next iteration.
+
+// procWorkerSource builds the source of worker process i (0..2).
+func procWorkerSource(i int) string {
+	work := ""
+	switch i {
+	case 1:
+		work = `
+	mov ax, [4]
+	add ax, 3
+	mov [4], ax
+	mov ax, [6]
+	add ax, [4]
+	mov [6], ax
+	mov ax, [8]
+	inc ax
+	mov [8], ax
+`
+	case 2:
+		work = `
+	mov cx, 40
+work_loop:
+	mov ax, [4]
+	inc ax
+	mov [4], ax
+	loop work_loop
+`
+	}
+	return fmt.Sprintf(`
+MY_DATA equ %#x
+MY_PORT equ %#x
+%%pad on
+start:
+	mov ax, MY_DATA
+	mov ds, ax
+	mov ax, [0]
+	inc ax
+	mov [0], ax
+	out MY_PORT, ax
+%s	jmp start
+`, ProcDataSeg(i), PortProc0+i, work)
+}
+
+// refresherSource is process 3: it copies one worker's pristine code
+// image from ROM to that worker's RAM region per pass, round-robin,
+// then emits its own heartbeat. The rep movsb spans many scheduler
+// quanta; the scheduler's full save/restore of cx/si/di/ds/es is what
+// makes that work.
+func refresherSource() string {
+	blocks := ""
+	for i := 0; i < RefresherIndex; i++ {
+		blocks += fmt.Sprintf(`
+refresh_%d:
+	mov ax, %#x
+	mov ds, ax
+	mov si, 0x00
+	mov ax, %#x
+	mov es, ax
+	mov di, 0x00
+	mov cx, %#x
+	cld
+	rep movsb
+	jmp advance
+`, i, ProcROMSeg(i), ProcCodeSeg(i), ProcRegionSize)
+	}
+	dispatch := ""
+	for i := 0; i < RefresherIndex; i++ {
+		dispatch += fmt.Sprintf("\tcmp ax, %d\n\tje refresh_%d\n", i, i)
+	}
+	return fmt.Sprintf(`
+MY_DATA equ %#x
+MY_PORT equ %#x
+%%pad on
+start:
+	mov ax, MY_DATA
+	mov ds, ax
+	mov ax, [2]
+	and ax, %d
+%s	jmp advance
+%s
+advance:
+	mov ax, MY_DATA
+	mov ds, ax
+	mov ax, [2]
+	inc ax
+	and ax, %d
+	mov [2], ax
+	mov ax, [0]
+	inc ax
+	mov [0], ax
+	out MY_PORT, ax
+	jmp start
+`, ProcDataSeg(RefresherIndex), PortProc0+RefresherIndex,
+		NumProcs-1, dispatch, blocks, NumProcs-1)
+}
+
+// ProcSet holds the assembled process region images.
+type ProcSet struct {
+	// Images[i] is the ProcRegionSize-byte code region of process i
+	// (instruction slots followed by the self-synchronizing jmp-0
+	// fill).
+	Images [NumProcs][]byte
+	// Progs[i] is the underlying assembled program.
+	Progs [NumProcs]*asm.Program
+}
+
+// BuildProcesses assembles all scheduled processes and renders their
+// region images.
+func BuildProcesses() (*ProcSet, error) {
+	set := &ProcSet{}
+	for i := 0; i < NumProcs; i++ {
+		var src string
+		if i == RefresherIndex {
+			src = refresherSource()
+		} else {
+			src = procWorkerSource(i)
+		}
+		p, err := asm.Assemble(src)
+		if err != nil {
+			return nil, fmt.Errorf("process %d: %w", i, err)
+		}
+		img, err := FillRegion(p.Code, ProcRegionSize)
+		if err != nil {
+			return nil, fmt.Errorf("process %d: %w", i, err)
+		}
+		set.Progs[i] = p
+		set.Images[i] = img
+	}
+	return set, nil
+}
+
+// FillRegion places code at the start of a size-byte region and fills
+// the tail with a self-synchronizing restart pattern: repeated
+// `jmp 0` instructions laid out so the region's final bytes complete an
+// instruction. Because the jmp opcode's operand bytes are zero — which
+// is the nop opcode — execution entering the fill at ANY byte offset
+// reaches a complete `jmp 0` within two bytes and returns to the
+// region's first instruction. This realizes the paper's Section 5.1
+// "add a jmp command to the first line of the rom in every unused rom
+// location" with byte-granularity robustness.
+//
+// The only offsets that escape the region are the final jmp's two
+// operand bytes (nops that slide past the end). The scheduler never
+// produces them (it masks ip to slot boundaries); raw PC corruption
+// that lands there walks into the adjacent region or raises an
+// exception, both of which the surrounding system recovers from.
+func FillRegion(code []byte, size int) ([]byte, error) {
+	if len(code) > size {
+		return nil, fmt.Errorf("code length %d exceeds region size %d", len(code), size)
+	}
+	region := make([]byte, size)
+	copy(region, code)
+	// Lay jmp-0 patterns backward from the end; the (size-len(code))%3
+	// leftover bytes right after the code remain zero (nop).
+	const patternSize = 3
+	for pos := size - patternSize; pos >= len(code); pos -= patternSize {
+		region[pos] = byte(isa.OpJmp)
+		region[pos+1] = 0
+		region[pos+2] = 0
+	}
+	return region, nil
+}

@@ -1,0 +1,154 @@
+package guest
+
+import (
+	"fmt"
+
+	"ssos/internal/asm"
+	"ssos/internal/machine"
+)
+
+// Handler is an assembled stabilizer ROM. The NMI entry is at offset 0
+// (the hardwired NMI vector); boot and exception entries are labels
+// within the same ROM.
+type Handler struct {
+	Prog *asm.Program
+}
+
+// NMIEntry returns the far pointer of the NMI handler.
+func (h *Handler) NMIEntry() machine.SegOff {
+	return machine.SegOff{Seg: HandlerROMSeg, Off: h.Prog.MustSymbol("nmi_entry")}
+}
+
+// BootEntry returns the far pointer of the reset/boot path.
+func (h *Handler) BootEntry() machine.SegOff {
+	return machine.SegOff{Seg: HandlerROMSeg, Off: h.Prog.MustSymbol("boot_entry")}
+}
+
+// ExcEntry returns the far pointer of the exception handler.
+func (h *Handler) ExcEntry() machine.SegOff {
+	return machine.SegOff{Seg: HandlerROMSeg, Off: h.Prog.MustSymbol("exc_entry")}
+}
+
+// figure1BodyFor renders the paper's Figure 1 watchdog/reinstall
+// procedure, transcribed line for line (the line numbers in comments
+// are the paper's), copying sizeSym bytes. Differences from the paper
+// are mechanical: the segment constants come from this repository's
+// memory map, and the stack is placed in its own segment with sp set
+// so that the guest's steady state has ss:sp = STACK_SEG:STACK_INIT
+// (the paper parks the stack at the top of the OS segment instead).
+func figure1BodyFor(sizeSym string) string {
+	return `
+; copy OS image
+	mov ax, OS_ROM_SEG   ;1
+	mov ds, ax           ;2
+	mov si, 0x00         ;3
+	mov ax, OS_SEG       ;4
+	mov es, ax           ;5
+	mov di, 0x00         ;6
+	mov cx, ` + sizeSym + `   ;7
+	cld                  ;8
+	rep movsb            ;9
+; prepare for journey
+	mov ax, STACK_SEG    ;10
+	mov ss, ax           ;11
+	mov sp, STACK_INIT   ;12
+	push word 0x02       ;13 flag
+	push word OS_SEG     ;14 cs
+	push word 0x0        ;15 ip
+	iret                 ;16
+`
+}
+
+// figure1Body copies the built-in kernel image.
+var figure1Body = figure1BodyFor("IMAGE_SIZE")
+
+// sizedFigure1Body copies a caller-specified image size.
+var sizedFigure1Body = figure1BodyFor("CUSTOM_IMAGE_SIZE")
+
+// BuildReinstallHandler assembles the approach-1 stabilizer: every NMI
+// (and every exception, and reset) reinstalls the full OS image —
+// code AND data — from ROM and restarts execution at the OS's first
+// instruction. Combined with the watchdog and the NMI-counter hardware
+// this yields the paper's *weakly* self-stabilizing operating system
+// (Theorem 3.4).
+func BuildReinstallHandler() (*Handler, error) {
+	return BuildReinstallHandlerSized(ImageSize)
+}
+
+// BuildReinstallHandlerSized assembles the approach-1 stabilizer for a
+// guest image of the given size — the entry point for protecting
+// user-supplied guests (core.NewCustom) whose images are not the
+// built-in kernel's.
+func BuildReinstallHandlerSized(imageSize int) (*Handler, error) {
+	if imageSize <= 0 || imageSize > 0x10000 {
+		return nil, fmt.Errorf("reinstall handler: image size %d out of range (1..65536)", imageSize)
+	}
+	src := prelude() + fmt.Sprintf(`
+CUSTOM_IMAGE_SIZE equ %#x
+`, imageSize) + `
+nmi_entry:
+boot_entry:
+` + sizedFigure1Body + `
+exc_entry:
+	jmp nmi_entry
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("reinstall handler: %w", err)
+	}
+	return &Handler{Prog: p}, nil
+}
+
+// BuildContinueHandler assembles the approach-1 "re-install and
+// continue execute" variant (Section 3): the NMI handler refreshes only
+// the executable portion of the OS and then resumes execution exactly
+// where it was interrupted, restoring every register it used. The boot
+// and exception paths perform the full Figure 1 reinstall.
+//
+// As the paper notes, this variant is NOT fully self-stabilizing: it
+// trusts the interrupted ss/sp and the soft state ("the soft state
+// variables may be inconsistent, and therefore the system as a whole
+// will not be in a consistent state"). Experiments demonstrate exactly
+// that: it survives code corruption but not stack-register corruption.
+func BuildContinueHandler() (*Handler, error) {
+	src := prelude() + `
+CODE_REGION equ DATA_OFF
+nmi_entry:
+	; save the registers the copy clobbers, relative to the current
+	; (trusted!) stack segment
+	mov word [ss:STACK_TOP-2], ax
+	mov word [ss:STACK_TOP-4], ds
+	mov word [ss:STACK_TOP-6], cx
+	mov word [ss:STACK_TOP-8], si
+	mov word [ss:STACK_TOP-10], di
+	mov word [ss:STACK_TOP-12], es
+	; refresh the executable portion only
+	mov ax, OS_ROM_SEG
+	mov ds, ax
+	mov si, 0x00
+	mov ax, OS_SEG
+	mov es, ax
+	mov di, 0x00
+	mov cx, CODE_REGION
+	cld
+	rep movsb
+	; restore and continue from where the OS was interrupted
+	mov es, [ss:STACK_TOP-12]
+	mov di, [ss:STACK_TOP-10]
+	mov si, [ss:STACK_TOP-8]
+	mov cx, [ss:STACK_TOP-6]
+	mov ds, [ss:STACK_TOP-4]
+	mov ax, [ss:STACK_TOP-2]
+	iret
+
+boot_entry:
+` + figure1Body + `
+exc_entry:
+	jmp boot_entry
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("continue handler: %w", err)
+	}
+	return &Handler{Prog: p}, nil
+}

@@ -1,0 +1,117 @@
+package guest
+
+import (
+	"fmt"
+
+	"ssos/internal/asm"
+)
+
+// Token-ring workload: Dijkstra's K-state mutual-exclusion ring — the
+// founding self-stabilizing algorithm ([9] in the paper) — running as
+// scheduled processes above the Figures 2-5 scheduler. This realizes
+// the paper's composition argument (Section 1, citing [13]): once the
+// processor stabilizes, the self-stabilizing OS stabilizes, and then
+// the self-stabilizing application programs stabilize.
+//
+// Ring members are the scheduler's worker processes 0..RefresherIndex-1
+// (the ROM refresher keeps its slot and keeps their code refreshed).
+// Member i holds x_i at offset 0 of its data segment and a move counter
+// at offset 2 (beaten to its port, so the standard heartbeat machinery
+// observes progress). The root (member 0) increments modulo RingK when
+// privileged (x_0 == x_last); every other member copies its
+// predecessor when privileged (x_i != x_{i-1}).
+//
+// RingK is 8 >= 2n-1 for the 3-member ring, the bound under which the
+// K-state algorithm stabilizes with read/write atomicity — which is
+// exactly the atomicity the scheduler provides (a process can be
+// preempted between reading its predecessor and writing its own
+// variable).
+
+// RingMembers is the number of token-ring processes.
+const RingMembers = RefresherIndex
+
+// RingK is the number of token states.
+const RingK = 8
+
+// RingXAddr returns the linear address of member i's x variable.
+func RingXAddr(i int) uint32 { return uint32(ProcDataSeg(i)) << 4 }
+
+// ringMemberSource builds the source of ring member i.
+func ringMemberSource(i int) string {
+	prev := (i + RingMembers - 1) % RingMembers
+	header := fmt.Sprintf(`
+MY_DATA   equ %#x
+PREV_DATA equ %#x
+MY_PORT   equ %#x
+K_MASK    equ %d
+%%pad on
+`, ProcDataSeg(i), ProcDataSeg(prev), PortProc0+i, RingK-1)
+
+	if i == 0 {
+		// Root: privileged when x_0 == x_last; step: x_0 := x_0+1 mod K.
+		return header + `
+start:
+	mov ax, PREV_DATA
+	mov ds, ax
+	mov ax, [0]
+	mov bx, ax
+	mov ax, MY_DATA
+	mov ds, ax
+	mov ax, [0]
+	cmp ax, bx
+	jne start
+	inc ax
+	and ax, K_MASK
+	mov [0], ax
+	mov ax, [2]
+	inc ax
+	mov [2], ax
+	out MY_PORT, ax
+	jmp start
+`
+	}
+	// Member: privileged when x_i != x_{i-1}; step: x_i := x_{i-1}.
+	return header + `
+start:
+	mov ax, PREV_DATA
+	mov ds, ax
+	mov ax, [0]
+	mov bx, ax
+	mov ax, MY_DATA
+	mov ds, ax
+	mov ax, [0]
+	cmp ax, bx
+	je start
+	mov [0], bx
+	mov ax, [2]
+	inc ax
+	mov [2], ax
+	out MY_PORT, ax
+	jmp start
+`
+}
+
+// BuildRingProcesses assembles the token-ring workload: RingMembers
+// ring processes plus the standard ROM refresher.
+func BuildRingProcesses() (*ProcSet, error) {
+	set := &ProcSet{}
+	for i := 0; i < NumProcs; i++ {
+		var src string
+		if i == RefresherIndex {
+			src = refresherSource()
+		} else {
+			src = ringMemberSource(i)
+		}
+		p, err := asm.Assemble(src)
+		if err != nil {
+			return nil, fmt.Errorf("ring process %d: %w", i, err)
+		}
+		img, err := FillRegion(p.Code, ProcRegionSize)
+		if err != nil {
+			return nil, fmt.Errorf("ring process %d: %w", i, err)
+		}
+		set.Progs[i] = p
+		set.Images[i] = img
+	}
+	return set, nil
+}

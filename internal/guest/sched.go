@@ -1,0 +1,398 @@
+package guest
+
+import (
+	"fmt"
+
+	"ssos/internal/asm"
+	"ssos/internal/machine"
+)
+
+// Process-table record layout (offsets within a record, one word each,
+// exactly the paper's Figure 3/5 offsets).
+const (
+	recFlag = 0  // flags
+	recCS   = 2  // code segment
+	recIP   = 4  // instruction pointer
+	recAX   = 6  // ax
+	recDS   = 8  // ds
+	recBX   = 10 // bx
+	recCX   = 12 // cx
+	recDX   = 14 // dx
+	recSI   = 16 // si
+	recDI   = 18 // di
+	recES   = 20 // es
+	recFS   = 22 // fs
+	recGS   = 24 // gs
+	// ProcessEntrySize is the record size in bytes (13 words).
+	ProcessEntrySize = 26
+)
+
+// Scheduler RAM layout within SchedSeg.
+const (
+	// ProcessIndexOff is the offset of the current-process index word.
+	ProcessIndexOff = 0
+	// ProcessTableOff is the offset of the process table.
+	ProcessTableOff = 2
+)
+
+// RefresherIndex is the scheduled process that reloads the other
+// processes' code from ROM; it runs from ROM itself.
+const RefresherIndex = NumProcs - 1
+
+// ProcCodeSeg returns the code segment process i executes from:
+// RAM for ordinary processes, ROM for the refresher.
+func ProcCodeSeg(i int) uint16 {
+	if i == RefresherIndex {
+		return ProcROMSeg(i)
+	}
+	return ProcCodeSeg0 + uint16(i)*ProcSegStride
+}
+
+// ProcROMSeg returns the ROM segment holding process i's pristine code
+// image.
+func ProcROMSeg(i int) uint16 { return ProcROMSeg0 + uint16(i)*ProcSegStride }
+
+// ProcDataSeg returns the data segment of process i.
+func ProcDataSeg(i int) uint16 { return ProcDataSeg0 + uint16(i)*ProcSegStride }
+
+// ProcRecordAddr returns the linear address of process i's table record.
+func ProcRecordAddr(i int) uint32 {
+	return uint32(SchedSeg)<<4 + ProcessTableOff + uint32(i)*ProcessEntrySize
+}
+
+// ProcessIndexAddr returns the linear address of the processIndex word.
+func ProcessIndexAddr() uint32 { return uint32(SchedSeg)<<4 + ProcessIndexOff }
+
+// SchedOptions selects the scheduler's compiled-in extensions beyond
+// the paper's Figures 2-5.
+type SchedOptions struct {
+	// ValidateDS pins each process's saved ds to the ROM processData
+	// table on every switch.
+	ValidateDS bool
+	// Protect confines each process to its 4 KiB data window using the
+	// memory-protection extension (machine.Options.MemoryProtection
+	// must be enabled): the scheduler loads the window register and
+	// forces FlagWP in every process's flags. The ROM-resident
+	// refresher is exempt by hardware (ROM code plays supervisor).
+	Protect bool
+}
+
+// Scheduler holds the assembled Figures 2-5 scheduler ROM.
+type Scheduler struct {
+	Prog *asm.Program
+	// Opts records the compiled-in extensions.
+	Opts SchedOptions
+}
+
+// NMIEntry returns the scheduler entry point (hardwired NMI vector).
+func (s *Scheduler) NMIEntry() machine.SegOff {
+	return machine.SegOff{Seg: HandlerROMSeg, Off: s.Prog.MustSymbol("nmi_entry")}
+}
+
+// BootEntry returns the cold-boot entry point.
+func (s *Scheduler) BootEntry() machine.SegOff {
+	return machine.SegOff{Seg: HandlerROMSeg, Off: s.Prog.MustSymbol("boot_entry")}
+}
+
+// ExcEntry returns the exception entry point.
+func (s *Scheduler) ExcEntry() machine.SegOff {
+	return machine.SegOff{Seg: HandlerROMSeg, Off: s.Prog.MustSymbol("exc_entry")}
+}
+
+// BuildScheduler assembles the paper's Figures 2-5 self-stabilizing
+// scheduler. The code is a line-for-line transcription; the paper's
+// numbered lines are kept as comments. Deviations, each commented in
+// place:
+//
+//   - Figure 5 line 49 uses `jb CS_OK`, but the accompanying text says
+//     "In case the value of cs is NOT EQUAL to the value pointed to by
+//     si, cs is assigned by the value pointed to by si"; we use `je`,
+//     which is what makes the validation actually pin each process to
+//     its fixed code segment.
+//   - IP_MASK both slot-aligns the ip (divisible by 16, as in the
+//     paper) and bounds it to the 4 KiB process region, because in this
+//     memory map the full 64 KiB segment around a process overlaps its
+//     neighbours. Process regions are tail-filled with a self-
+//     synchronizing `jmp 0` pattern, so any in-region slot eventually
+//     reaches the process's first instruction — the paper's "one may
+//     pad the program with nop instructions" refinement.
+//
+// With validateDS set, the scheduler additionally validates the saved
+// ds against a ROM table of per-process data segments (processData),
+// restoring the fixed value when it differs — except for entries
+// holding the 0xFFFF sentinel, which mark processes (the refresher)
+// that legitimately retarget ds. This is an EXTENSION the paper does
+// not include (it assumes "the data of each process resides in a
+// distinct separate ram area" as a correctness obligation on the
+// processes); experiments E7 and E11 measure what the extensions buy.
+func BuildScheduler(validateDS bool) (*Scheduler, error) {
+	return BuildSchedulerOpts(SchedOptions{ValidateDS: validateDS})
+}
+
+// BuildSchedulerOpts assembles the scheduler with the given extensions.
+func BuildSchedulerOpts(opts SchedOptions) (*Scheduler, error) {
+	dsCheck := ""
+	if opts.ValidateDS {
+		// A 0xFFFF table entry is a sentinel: the process manages its
+		// own ds and must not be pinned. The ROM refresher NEEDS this —
+		// it legitimately points ds at each pristine code image during
+		// its copies, and pinning a mid-copy ds back to its data
+		// segment would make every resumed copy read garbage (found
+		// the hard way; see DESIGN.md).
+		dsCheck = `
+	; --- extension: validate saved ds against the fixed table ---
+	lea si, [processData]
+	add si, [SCHED_INDEX]
+	add si, [SCHED_INDEX]
+	mov ax, [cs:si]                ; fixed ds, or the 0xFFFF sentinel
+	cmp ax, 0xFFFF
+	je DS_OK
+	cmp ax, [bx+8]
+	je DS_OK
+	mov [bx+8], ax                 ; pin ds to the process's data segment
+DS_OK:
+`
+	}
+
+	protect := ""
+	if opts.Protect {
+		protect = `
+	; --- extension: confine the process to its data window ---
+	lea si, [processData]
+	add si, [SCHED_INDEX]
+	add si, [SCHED_INDEX]
+	mov ax, [cs:si]
+	wpset ax
+	mov ax, [ss:STACK_TOP+4]
+	or ax, WP_FLAG
+	mov word [ss:STACK_TOP+4], ax
+`
+	}
+	procFlags := uint16(0x02)
+	if opts.Protect {
+		procFlags |= wpFlagBit
+	}
+	src := prelude() + fmt.Sprintf(`
+PROCESS_ENTRY_SIZE equ %d
+N_MASK             equ %d
+IP_MASK            equ %#x
+SCHED_INDEX        equ %d
+PROCESS_TABLE      equ %d
+PROC_FLAGS         equ %#x
+WP_FLAG            equ %#x
+`, ProcessEntrySize, NumProcs-1, uint16(ProcRegionSize-1) & ^uint16(15), ProcessIndexOff, ProcessTableOff, procFlags, wpFlagBit) + `
+; ============================================================
+; Self-stabilizing scheduler (paper Figures 2-5), NMI entry.
+; ============================================================
+nmi_entry:
+; --- Figure 2: refresh fixed addresses, store ax,bx,ds ---
+	mov word [ss:STACK_TOP-2], ax  ;1
+	mov ax, STACK_SEG              ;2
+	mov ss, ax                     ;3
+	mov sp, STACK_TOP              ;4
+	mov word [ss:STACK_TOP-4], ds  ;5
+	mov word [ss:STACK_TOP-6], bx  ;6
+	mov ax, SCHED_SEG              ;7
+	mov ds, ax                     ;8
+
+; --- Figure 3: save interrupted process state ---
+	mov ax, [SCHED_INDEX]          ;9
+	and ax, N_MASK                 ;10
+	lea bx, [PROCESS_TABLE]        ;11
+	mov ah, PROCESS_ENTRY_SIZE     ;12
+	mul ah                         ;13
+	add bx, ax                     ;14  bx -> current process record
+	mov ax, [ss:STACK_TOP+4]       ;15  save flags
+	mov word [bx], ax              ;16
+	mov ax, [ss:STACK_TOP+2]       ;17  save cs
+	mov word [bx+2], ax            ;18
+	mov ax, [ss:STACK_TOP]         ;19  save ip
+	mov word [bx+4], ax            ;20
+	mov ax, [ss:STACK_TOP-2]       ;21  save ax
+	mov word [bx+6], ax            ;22
+	mov ax, [ss:STACK_TOP-4]       ;23  save ds
+	mov word [bx+8], ax            ;24
+	mov ax, [ss:STACK_TOP-6]       ;25  save bx
+	mov word [bx+10], ax           ;26
+	mov word [bx+12], cx           ;27  save cx
+	mov word [bx+14], dx           ;28  save dx
+	mov word [bx+16], si           ;29  save si
+	mov word [bx+18], di           ;30  save di
+	mov word [bx+20], es           ;31  save es
+	mov word [bx+22], fs           ;32  save fs
+	mov word [bx+24], gs           ;33  save gs
+
+; --- Figure 4: increment process index (round robin) ---
+	mov ax, [SCHED_INDEX]          ;34
+	inc ax                         ;35
+	and ax, N_MASK                 ;36
+	mov [SCHED_INDEX], ax          ;37
+
+; --- Figure 5: load next process state ---
+	lea bx, [PROCESS_TABLE]        ;38
+	mov ah, PROCESS_ENTRY_SIZE     ;39
+	mul ah                         ;40
+	add bx, ax                     ;41  bx -> next process record
+	mov ax, [bx]                   ;42  restore flags
+	mov word [ss:STACK_TOP+4], ax  ;43
+	mov ax, [bx+2]                 ;44  restore cs
+; check cs validity
+	lea si, [processLimits]        ;45
+	add si, [SCHED_INDEX]          ;46
+	add si, [SCHED_INDEX]          ;47
+	cmp ax, [cs:si]                ;48  (cs: — the limits table is in this ROM)
+	je CS_OK                       ;49  (paper prints jb; see doc comment)
+	mov ax, [cs:si]                ;50  init cs
+CS_OK:
+	mov word [ss:STACK_TOP+2], ax  ;51
+	mov ax, [bx+4]                 ;52  restore ip
+	; 53: validate ip. The paper masks down (and ax, IP_MASK), but a
+	; process interrupted mid-slot (walking its padding nops) has
+	; already executed the slot's instruction; masking down would
+	; re-execute it on resume — double outs, double increments, and a
+	; re-executed loop underflowing cx. Rounding UP to the next slot
+	; boundary resumes exactly where the uninterrupted execution
+	; would have continued.
+	add ax, 15                     ;53a
+	and ax, IP_MASK                ;53b
+	mov word [ss:STACK_TOP], ax    ;54
+` + dsCheck + protect + `
+	mov cx, [bx+12]                ;55  restore cx
+	mov dx, [bx+14]                ;56  restore dx
+	mov si, [bx+16]                ;57  restore si
+	mov di, [bx+18]                ;58  restore di
+	mov es, [bx+20]                ;59  restore es
+	mov fs, [bx+22]                ;60  restore fs
+	mov gs, [bx+24]                ;61  restore gs
+	mov ax, [bx+8]                 ;62  restore ds (above stack)
+	mov word [ss:STACK_TOP-2], ax  ;63
+	mov ax, [bx+6]                 ;64  restore ax
+	mov bx, [bx+10]                ;65  restore bx
+	mov ds, [ss:STACK_TOP-2]       ;66  finally ds
+; Jump to next process
+	iret                           ;67
+
+; ============================================================
+; processLimits (Figure 5 lines 45-50): the fixed cs of each
+; process, in ROM. processData is the extension's ds table.
+; ============================================================
+processLimits:
+	dw ` + limitsList(ProcCodeSeg) + `
+processData:
+	dw ` + limitsList(schedDataEntry) + `
+
+; ============================================================
+; Cold boot: build a pristine process table, then run process 0.
+; Self-stabilization does not require this path (the scheduler
+; converges from any table contents); it gives experiments a
+; clean time origin.
+; ============================================================
+boot_entry:
+	mov ax, STACK_SEG
+	mov ss, ax
+	mov sp, STACK_TOP
+	mov ax, SCHED_SEG
+	mov ds, ax
+	mov word [SCHED_INDEX], 0
+	; zero the whole table, then set per-process cs/ds/flags
+	lea bx, [PROCESS_TABLE]
+	mov cx, ` + fmt.Sprintf("%d", NumProcs*ProcessEntrySize/2) + `
+boot_zero:
+	mov word [bx], 0x0
+	add bx, 2
+	loop boot_zero
+` + bootRecords() + `
+; fall through: discard the faulted context and restart the CURRENT
+; process (per processIndex) from its first instruction. Restarting the
+; offender itself — rather than some fixed process — avoids creating a
+; second execution of another process's code, which would interleave
+; with the real one on the same data.
+exc_entry:
+	mov ax, STACK_SEG
+	mov ss, ax
+	mov sp, STACK_TOP
+	mov ax, SCHED_SEG
+	mov ds, ax
+	mov bx, [SCHED_INDEX]
+	and bx, N_MASK
+	lea si, [processLimits]
+	add si, bx
+	add si, bx
+	mov ax, [cs:si]
+	mov word [ss:STACK_TOP+2], ax  ; cs of the current process
+	; Give the restarted process its own data segment immediately.
+	; Leaving the handler's ds (the scheduler's data area!) in place
+	; would be catastrophic if the next NMI arrives before the process
+	; re-establishes ds itself: the saved context would alias the
+	; process onto the scheduler's own state, and a process whose loop
+	; stores through ds then scribbles processIndex every iteration —
+	; a stable limit cycle in which its own record is never re-saved.
+	lea si, [processData]
+	add si, bx
+	add si, bx
+	mov ds, [cs:si]
+` + excWindow(opts) + `	mov word [ss:STACK_TOP], 0x0
+	mov word [ss:STACK_TOP+4], PROC_FLAGS
+	iret
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("scheduler: %w", err)
+	}
+	return &Scheduler{Prog: p, Opts: opts}, nil
+}
+
+// wpFlagBit mirrors isa.FlagWP for the assembler sources.
+const wpFlagBit = 0x40
+
+// schedDataEntry supplies the processData table: each worker's fixed
+// data segment, and the no-pin sentinel for the ROM refresher (which
+// retargets ds legitimately during its copies and is store-exempt as
+// ROM-resident code anyway).
+func schedDataEntry(i int) uint16 {
+	if i == RefresherIndex {
+		return 0xFFFF
+	}
+	return ProcDataSeg(i)
+}
+
+// excWindow emits the exception path's window setup for the protect
+// variant: the restarted process's data window, indexed like its cs
+// (bx still holds the masked process index).
+func excWindow(opts SchedOptions) string {
+	if !opts.Protect {
+		return ""
+	}
+	return `	lea si, [processData]
+	add si, bx
+	add si, bx
+	mov ax, [cs:si]
+	wpset ax
+`
+}
+
+// limitsList renders the per-process segment table for a dw directive.
+func limitsList(seg func(int) uint16) string {
+	s := ""
+	for i := 0; i < NumProcs; i++ {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%#x", seg(i))
+	}
+	return s
+}
+
+// bootRecords emits the per-process record initialization for the boot
+// path: flags, cs and ds of each record get their fixed values.
+func bootRecords() string {
+	s := ""
+	for i := 0; i < NumProcs; i++ {
+		base := ProcessTableOff + i*ProcessEntrySize
+		s += fmt.Sprintf(`	mov word [%d], PROC_FLAGS
+	mov word [%d], %#x
+	mov word [%d], %#x
+`, base+recFlag, base+recCS, ProcCodeSeg(i), base+recDS, ProcDataSeg(i))
+	}
+	return s
+}

@@ -1,0 +1,72 @@
+package guest
+
+import (
+	"fmt"
+
+	"ssos/internal/asm"
+	"ssos/internal/machine"
+)
+
+// tickfulSource is the interrupt-driven guest OS variant: instead of
+// polling, it programs the interrupt descriptor table, enables
+// interrupts and sleeps with hlt; a timer IRQ wakes it and the ISR
+// emits the heartbeat. This exercises the machine's full maskable-
+// interrupt path (IDT in RAM, if-flag gating, hlt wake-up) and creates
+// a new *silent* fault class the experiments use: a corrupted IDT
+// entry stops all wakeups without raising any exception — only the
+// watchdog can recover it, and only because the reinstall-restart path
+// re-runs the init code that programs the IDT.
+//
+// Self-stabilization discipline: ds is re-established and sti re-issued
+// every loop iteration (a cleared IF heals in one pass), and the ISR
+// re-establishes ds itself (it may run with the corrupted ds of the
+// interrupted context).
+const tickfulSource = `
+TIMER_VEC_OFF equ 0x20     ; vector 8 * 4 bytes
+
+start:
+	mov ax, OS_SEG
+	mov ds, ax
+	mov ax, STACK_SEG
+	mov ss, ax
+	mov sp, STACK_INIT
+	mov word [CANARY], CANARY_VALUE
+	; program the idt: vector 8 -> OS_SEG:timer_isr
+	mov ax, 0x0000
+	mov es, ax
+	mov word [es:TIMER_VEC_OFF], timer_isr
+	mov word [es:TIMER_VEC_OFF+2], OS_SEG
+main_loop:
+	mov ax, OS_SEG
+	mov ds, ax
+	sti
+	hlt
+	jmp main_loop
+
+timer_isr:
+	mov ax, OS_SEG
+	mov ds, ax
+	mov ax, [COUNTER]
+	inc ax
+	mov [COUNTER], ax
+	out HEARTBEAT_PORT, ax
+	iret
+code_end:
+`
+
+// TimerVecAddr is the linear address of the timer IDT entry the
+// tickful kernel programs (vector machine.VecTimer at IDT base 0).
+const TimerVecAddr = machine.VecTimer * 4
+
+// BuildTickfulKernel assembles the interrupt-driven guest OS.
+func BuildTickfulKernel() (*Kernel, error) {
+	p, err := asm.Assemble(prelude() + tickfulSource)
+	if err != nil {
+		return nil, fmt.Errorf("tickful kernel: %w", err)
+	}
+	codeEnd, ok := p.Symbol("code_end")
+	if !ok || codeEnd > DataOff {
+		return nil, fmt.Errorf("tickful kernel: code length %#x exceeds data offset %#x", codeEnd, DataOff)
+	}
+	return &Kernel{Prog: p}, nil
+}

@@ -1,0 +1,51 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DisasmLine is one line of disassembly output.
+type DisasmLine struct {
+	Offset uint16 // offset of the first byte within the input
+	Bytes  []byte // raw encoding (a single byte for invalid encodings)
+	Text   string // assembly text, or a db directive for invalid bytes
+	Valid  bool
+}
+
+// Disasm decodes the byte slice into consecutive instructions starting
+// at offset 0. Undecodable bytes are emitted one at a time as `db`
+// lines, mirroring how the processor would fault on them.
+func Disasm(code []byte) []DisasmLine {
+	var lines []DisasmLine
+	off := 0
+	for off < len(code) {
+		in, size, ok := Decode(code[off:])
+		if !ok {
+			lines = append(lines, DisasmLine{
+				Offset: uint16(off),
+				Bytes:  code[off : off+1],
+				Text:   fmt.Sprintf("db 0x%02x", code[off]),
+			})
+			off++
+			continue
+		}
+		lines = append(lines, DisasmLine{
+			Offset: uint16(off),
+			Bytes:  code[off : off+size],
+			Text:   in.String(),
+			Valid:  true,
+		})
+		off += size
+	}
+	return lines
+}
+
+// DisasmString renders Disasm output as a printable listing.
+func DisasmString(code []byte) string {
+	var b strings.Builder
+	for _, ln := range Disasm(code) {
+		fmt.Fprintf(&b, "%04x:  % -18x  %s\n", ln.Offset, ln.Bytes, ln.Text)
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package isa
+
+import "strings"
+
+// Flags is the processor status word. Bit assignments are fixed by the
+// ISA; unassigned bits are ignored by the processor but preserved by
+// PUSHF/POPF/IRET so that an arbitrary (corrupted) value is still a
+// legal flags word, as the self-stabilization model requires.
+type Flags uint16
+
+// Flag bits.
+const (
+	FlagCF Flags = 1 << 0 // carry
+	FlagZF Flags = 1 << 1 // zero
+	FlagSF Flags = 1 << 2 // sign
+	FlagOF Flags = 1 << 3 // overflow
+	FlagIF Flags = 1 << 4 // maskable interrupts enabled
+	FlagDF Flags = 1 << 5 // string direction (set = downward)
+	// FlagWP enables the memory-protection extension's store window for
+	// RAM-resident code (ROM code is exempt, like supervisor mode).
+	// Interrupt and exception delivery clear it; iret restores it.
+	FlagWP Flags = 1 << 6
+)
+
+// Has reports whether all bits of f2 are set in f.
+func (f Flags) Has(f2 Flags) bool { return f&f2 == f2 }
+
+// With returns f with the bits of f2 set.
+func (f Flags) With(f2 Flags) Flags { return f | f2 }
+
+// Without returns f with the bits of f2 cleared.
+func (f Flags) Without(f2 Flags) Flags { return f &^ f2 }
+
+// Set returns f with the bits of f2 set or cleared according to on.
+func (f Flags) Set(f2 Flags, on bool) Flags {
+	if on {
+		return f | f2
+	}
+	return f &^ f2
+}
+
+var flagNames = []struct {
+	bit  Flags
+	name string
+}{
+	{FlagCF, "CF"},
+	{FlagZF, "ZF"},
+	{FlagSF, "SF"},
+	{FlagOF, "OF"},
+	{FlagIF, "IF"},
+	{FlagDF, "DF"},
+	{FlagWP, "WP"},
+}
+
+func (f Flags) String() string {
+	var parts []string
+	for _, fn := range flagNames {
+		if f.Has(fn.bit) {
+			parts = append(parts, fn.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, "|")
+}

@@ -1,0 +1,141 @@
+// Package isa defines the instruction-set architecture of the simulated
+// real-mode machine used throughout this repository: the register file,
+// processor flags, instruction opcodes and their binary encoding.
+//
+// The ISA is a compact 16-bit segmented architecture modelled on the
+// subset of the Intel Pentium real-addressing mode that the paper
+// "Toward Self-Stabilizing Operating Systems" (Dolev & Yagel) uses in
+// its Figures 1-5: general registers with 8-bit halves, segment
+// registers, absolute and register-indexed memory operands with
+// explicit segment overrides, string copy with REP, stack operations
+// and IRET. Instructions are variable length (1-6 bytes) which matters
+// for the paper's Section 5.2 discussion of instruction-slot padding;
+// every instruction fits in a 16-byte slot.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the eight 16-bit general-purpose registers.
+type Reg uint8
+
+// General-purpose 16-bit registers.
+const (
+	AX Reg = iota
+	BX
+	CX
+	DX
+	SI
+	DI
+	BP
+	SP
+
+	// NumRegs is the number of general-purpose registers.
+	NumRegs = 8
+)
+
+var regNames = [NumRegs]string{"ax", "bx", "cx", "dx", "si", "di", "bp", "sp"}
+
+// Valid reports whether r names an existing general register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+func (r Reg) String() string {
+	if r.Valid() {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r?%d", uint8(r))
+}
+
+// ParseReg returns the general register named by s (lower case), if any.
+func ParseReg(s string) (Reg, bool) {
+	for i, n := range regNames {
+		if n == s {
+			return Reg(i), true
+		}
+	}
+	return 0, false
+}
+
+// SReg identifies one of the six segment registers.
+type SReg uint8
+
+// Segment registers.
+const (
+	CS SReg = iota
+	DS
+	ES
+	FS
+	GS
+	SS
+
+	// NumSRegs is the number of segment registers.
+	NumSRegs = 6
+)
+
+var sregNames = [NumSRegs]string{"cs", "ds", "es", "fs", "gs", "ss"}
+
+// Valid reports whether s names an existing segment register.
+func (s SReg) Valid() bool { return s < NumSRegs }
+
+func (s SReg) String() string {
+	if s.Valid() {
+		return sregNames[s]
+	}
+	return fmt.Sprintf("s?%d", uint8(s))
+}
+
+// ParseSReg returns the segment register named by s (lower case), if any.
+func ParseSReg(s string) (SReg, bool) {
+	for i, n := range sregNames {
+		if n == s {
+			return SReg(i), true
+		}
+	}
+	return 0, false
+}
+
+// Reg8 identifies one of the eight byte-addressable register halves
+// (the low and high bytes of AX, BX, CX and DX).
+type Reg8 uint8
+
+// 8-bit register halves.
+const (
+	AL Reg8 = iota
+	AH
+	BL
+	BH
+	CL
+	CH
+	DL
+	DH
+
+	// NumRegs8 is the number of addressable byte registers.
+	NumRegs8 = 8
+)
+
+var reg8Names = [NumRegs8]string{"al", "ah", "bl", "bh", "cl", "ch", "dl", "dh"}
+
+// Valid reports whether r names an existing byte register.
+func (r Reg8) Valid() bool { return r < NumRegs8 }
+
+func (r Reg8) String() string {
+	if r.Valid() {
+		return reg8Names[r]
+	}
+	return fmt.Sprintf("b?%d", uint8(r))
+}
+
+// ParseReg8 returns the byte register named by s (lower case), if any.
+func ParseReg8(s string) (Reg8, bool) {
+	for i, n := range reg8Names {
+		if n == s {
+			return Reg8(i), true
+		}
+	}
+	return 0, false
+}
+
+// Parent returns the 16-bit register that contains r and whether r is
+// its high byte.
+func (r Reg8) Parent() (reg Reg, high bool) {
+	return Reg(r / 2), r%2 == 1
+}

@@ -1,0 +1,363 @@
+package machine
+
+import "ssos/internal/isa"
+
+// execute performs one fetch-decode-execute unit of work. Invalid
+// encodings raise the invalid-opcode exception; faulting stores raise
+// the general-protection exception with ip still addressing the
+// faulting instruction.
+func (m *Machine) execute() Event {
+	in, size, ok := m.fetch()
+	if !ok {
+		return m.raiseException(VecInvalidOpcode)
+	}
+	c := &m.CPU
+	nextIP := c.IP + uint16(size)
+
+	// Memory-operand effective offset (16-bit wrap within segment).
+	effOff := func() uint16 {
+		off := in.Mem.Disp
+		if r, useBase := in.Mem.Base.Reg(); useBase {
+			off += c.R[r]
+		}
+		return off
+	}
+	loadMem := func() uint16 { return m.LoadWord(in.Mem.Seg, effOff()) }
+	storeMem := func(v uint16) bool {
+		off := effOff()
+		if !m.storeAllowed(m.Linear(in.Mem.Seg, off)) {
+			return false
+		}
+		return m.StoreWord(in.Mem.Seg, off, v)
+	}
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpHlt:
+		c.Halted = true
+	case isa.OpCld:
+		c.Flags = c.Flags.Without(isa.FlagDF)
+	case isa.OpStd:
+		c.Flags = c.Flags.With(isa.FlagDF)
+	case isa.OpSti:
+		c.Flags = c.Flags.With(isa.FlagIF)
+	case isa.OpCli:
+		c.Flags = c.Flags.Without(isa.FlagIF)
+
+	case isa.OpIret:
+		// Pop ip, cs, flags; re-arm the NMI machinery. With the paper's
+		// counter hardware, iret zeroes the counter so a pending NMI is
+		// deliverable immediately (Section 2).
+		c.IP = m.pop()
+		c.S[isa.CS] = m.pop()
+		c.Flags = isa.Flags(m.pop())
+		c.NMICounter = 0
+		c.InNMI = false
+		m.Stats.Instrs++
+		return EventInstr
+
+	case isa.OpPushf:
+		if !m.pushGuarded(uint16(c.Flags)) {
+			c.R[isa.SP] += 2
+			return m.raiseException(VecGP)
+		}
+	case isa.OpPopf:
+		c.Flags = isa.Flags(m.pop())
+
+	case isa.OpMovRI:
+		c.R[in.R1] = in.Imm
+	case isa.OpMovRR:
+		c.R[in.R1] = c.R[in.R2]
+	case isa.OpMovSR:
+		c.S[in.R1] = c.R[in.R2]
+	case isa.OpMovRS:
+		c.R[in.R1] = c.S[in.R2]
+	case isa.OpMovRM:
+		c.R[in.R1] = loadMem()
+	case isa.OpMovMR:
+		if !storeMem(c.R[in.R1]) {
+			return m.raiseException(VecGP)
+		}
+	case isa.OpMovMI:
+		if !storeMem(in.Imm) {
+			return m.raiseException(VecGP)
+		}
+	case isa.OpMovSM:
+		c.S[in.R1] = loadMem()
+	case isa.OpMovMS:
+		if !storeMem(c.S[in.R1]) {
+			return m.raiseException(VecGP)
+		}
+	case isa.OpMovR8I:
+		c.SetReg8(isa.Reg8(in.R1), uint8(in.Imm))
+	case isa.OpMovR8R8:
+		c.SetReg8(isa.Reg8(in.R1), c.Reg8(isa.Reg8(in.R2)))
+
+	case isa.OpAddRR:
+		c.R[in.R1] = m.add16(c.R[in.R1], c.R[in.R2])
+	case isa.OpAddRI:
+		c.R[in.R1] = m.add16(c.R[in.R1], in.Imm)
+	case isa.OpAddRM:
+		c.R[in.R1] = m.add16(c.R[in.R1], loadMem())
+	case isa.OpSubRR:
+		c.R[in.R1] = m.sub16(c.R[in.R1], c.R[in.R2])
+	case isa.OpSubRI:
+		c.R[in.R1] = m.sub16(c.R[in.R1], in.Imm)
+	case isa.OpIncR:
+		// As on x86, inc/dec preserve CF.
+		c.R[in.R1]++
+		m.setZS(c.R[in.R1])
+	case isa.OpDecR:
+		c.R[in.R1]--
+		m.setZS(c.R[in.R1])
+	case isa.OpAndRR:
+		c.R[in.R1] = m.logic16(c.R[in.R1] & c.R[in.R2])
+	case isa.OpAndRI:
+		c.R[in.R1] = m.logic16(c.R[in.R1] & in.Imm)
+	case isa.OpOrRR:
+		c.R[in.R1] = m.logic16(c.R[in.R1] | c.R[in.R2])
+	case isa.OpOrRI:
+		c.R[in.R1] = m.logic16(c.R[in.R1] | in.Imm)
+	case isa.OpXorRR:
+		c.R[in.R1] = m.logic16(c.R[in.R1] ^ c.R[in.R2])
+	case isa.OpCmpRR:
+		m.sub16(c.R[in.R1], c.R[in.R2])
+	case isa.OpCmpRI:
+		m.sub16(c.R[in.R1], in.Imm)
+	case isa.OpCmpRM:
+		m.sub16(c.R[in.R1], loadMem())
+	case isa.OpLea:
+		c.R[in.R1] = effOff()
+	case isa.OpMulR8:
+		// ax = al * r8; carry/overflow signal a non-zero high byte.
+		prod := uint16(c.Reg8(isa.AL)) * uint16(c.Reg8(isa.Reg8(in.R1)))
+		c.R[isa.AX] = prod
+		c.Flags = c.Flags.Set(isa.FlagCF|isa.FlagOF, prod>>8 != 0)
+	case isa.OpShlRI:
+		n := uint(in.Imm) & 31
+		v := c.R[in.R1]
+		if n > 0 && n <= 16 {
+			c.Flags = c.Flags.Set(isa.FlagCF, v>>(16-n)&1 != 0)
+		}
+		c.R[in.R1] = m.logicKeepCF(v << n)
+	case isa.OpShrRI:
+		n := uint(in.Imm) & 31
+		v := c.R[in.R1]
+		if n > 0 && n <= 16 {
+			c.Flags = c.Flags.Set(isa.FlagCF, v>>(n-1)&1 != 0)
+		}
+		c.R[in.R1] = m.logicKeepCF(v >> n)
+
+	case isa.OpJmp:
+		nextIP = in.Imm
+	case isa.OpJmpFar:
+		c.S[isa.CS] = in.Imm
+		nextIP = in.Imm2
+	case isa.OpJe:
+		if c.Flags.Has(isa.FlagZF) {
+			nextIP = in.Imm
+		}
+	case isa.OpJne:
+		if !c.Flags.Has(isa.FlagZF) {
+			nextIP = in.Imm
+		}
+	case isa.OpJb:
+		if c.Flags.Has(isa.FlagCF) {
+			nextIP = in.Imm
+		}
+	case isa.OpJbe:
+		if c.Flags.Has(isa.FlagCF) || c.Flags.Has(isa.FlagZF) {
+			nextIP = in.Imm
+		}
+	case isa.OpJa:
+		if !c.Flags.Has(isa.FlagCF) && !c.Flags.Has(isa.FlagZF) {
+			nextIP = in.Imm
+		}
+	case isa.OpJae:
+		if !c.Flags.Has(isa.FlagCF) {
+			nextIP = in.Imm
+		}
+	case isa.OpLoop:
+		c.R[isa.CX]--
+		if c.R[isa.CX] != 0 {
+			nextIP = in.Imm
+		}
+	case isa.OpCall:
+		if !m.pushGuarded(nextIP) {
+			c.R[isa.SP] += 2
+			return m.raiseException(VecGP)
+		}
+		nextIP = in.Imm
+	case isa.OpRet:
+		nextIP = m.pop()
+
+	case isa.OpPushR:
+		if !m.pushGuarded(c.R[in.R1]) {
+			c.R[isa.SP] += 2
+			return m.raiseException(VecGP)
+		}
+	case isa.OpPopR:
+		c.R[in.R1] = m.pop()
+	case isa.OpPushI:
+		if !m.pushGuarded(in.Imm) {
+			c.R[isa.SP] += 2
+			return m.raiseException(VecGP)
+		}
+	case isa.OpPushS:
+		if !m.pushGuarded(c.S[in.R1]) {
+			c.R[isa.SP] += 2
+			return m.raiseException(VecGP)
+		}
+	case isa.OpPopS:
+		c.S[in.R1] = m.pop()
+
+	case isa.OpMovsb:
+		if !m.movsbOnce() {
+			return m.raiseException(VecGP)
+		}
+	case isa.OpRepMovsb:
+		// One byte per clock tick, resumable: ip stays on the
+		// instruction until cx reaches zero. This matches the paper's
+		// reading of rep movsb (Figure 1 line 9): a cx-bounded loop
+		// that always terminates because cx strictly decreases.
+		if c.R[isa.CX] != 0 {
+			if !m.movsbOnce() {
+				return m.raiseException(VecGP)
+			}
+			c.R[isa.CX]--
+			if c.R[isa.CX] != 0 {
+				nextIP = c.IP
+			}
+		}
+	case isa.OpStosb:
+		dst := m.Linear(isa.ES, c.R[isa.DI])
+		if !m.storeAllowed(dst) || !m.Bus.StoreByte(dst, c.Reg8(isa.AL)) {
+			return m.raiseException(VecGP)
+		}
+		c.R[isa.DI] = m.stringAdvance(c.R[isa.DI])
+	case isa.OpLodsb:
+		c.SetReg8(isa.AL, m.Bus.LoadByte(m.Linear(isa.DS, c.R[isa.SI])))
+		c.R[isa.SI] = m.stringAdvance(c.R[isa.SI])
+
+	case isa.OpOutI:
+		m.portOut(in.Imm, c.R[isa.AX])
+	case isa.OpInI:
+		c.R[isa.AX] = m.portIn(in.Imm)
+	case isa.OpOutDx:
+		m.portOut(c.R[isa.DX], c.R[isa.AX])
+	case isa.OpInDx:
+		c.R[isa.AX] = m.portIn(c.R[isa.DX])
+
+	case isa.OpWPSet:
+		c.WP = c.R[in.R1]
+
+	case isa.OpInt:
+		c.IP = nextIP // resume after the int instruction
+		m.Stats.Instrs++
+		m.push(uint16(c.Flags))
+		m.push(c.S[isa.CS])
+		m.push(c.IP)
+		c.Flags = c.Flags.Without(isa.FlagIF)
+		target := m.idtEntry(uint8(in.Imm))
+		c.S[isa.CS] = target.Seg
+		c.IP = target.Off
+		return EventInstr
+
+	default:
+		return m.raiseException(VecInvalidOpcode)
+	}
+
+	c.IP = nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+// storeAllowed reports whether a data store to the linear address is
+// permitted under the memory-protection extension: always, unless the
+// option is on, FlagWP is set, and the executing code resides in RAM
+// while the target lies outside the 4 KiB window at WP<<4. ROM-resident
+// code (the stabilizers) is exempt, playing supervisor.
+func (m *Machine) storeAllowed(addr uint32) bool {
+	if !m.Opts.MemoryProtection || !m.CPU.Flags.Has(isa.FlagWP) {
+		return true
+	}
+	if m.Bus.InROM(m.CPU.PC().Linear()) {
+		return true
+	}
+	base := uint32(m.CPU.WP) << 4
+	return addr >= base && addr+1 < base+WPWindowSize
+}
+
+// pushGuarded is push with the memory-protection check applied (guest
+// pushes only; interrupt-delivery pushes are hardware and exempt).
+func (m *Machine) pushGuarded(v uint16) bool {
+	target := m.Linear(isa.SS, m.CPU.R[isa.SP]-2)
+	if !m.storeAllowed(target) {
+		// Mirror push's sp decrement so the caller's uniform fault
+		// cleanup (sp += 2) leaves sp unchanged either way.
+		m.CPU.R[isa.SP] -= 2
+		return false
+	}
+	return m.push(v)
+}
+
+// movsbOnce copies one byte ds:si -> es:di and advances the index
+// registers per the direction flag.
+func (m *Machine) movsbOnce() bool {
+	c := &m.CPU
+	dst := m.Linear(isa.ES, c.R[isa.DI])
+	if !m.storeAllowed(dst) {
+		return false
+	}
+	b := m.Bus.LoadByte(m.Linear(isa.DS, c.R[isa.SI]))
+	ok := m.Bus.StoreByte(dst, b)
+	c.R[isa.SI] = m.stringAdvance(c.R[isa.SI])
+	c.R[isa.DI] = m.stringAdvance(c.R[isa.DI])
+	return ok
+}
+
+func (m *Machine) stringAdvance(v uint16) uint16 {
+	if m.CPU.Flags.Has(isa.FlagDF) {
+		return v - 1
+	}
+	return v + 1
+}
+
+// setZS updates the zero and sign flags from a result.
+func (m *Machine) setZS(v uint16) {
+	m.CPU.Flags = m.CPU.Flags.Set(isa.FlagZF, v == 0).Set(isa.FlagSF, v&0x8000 != 0)
+}
+
+// logic16 sets flags for a bitwise result (clears CF/OF) and returns it.
+func (m *Machine) logic16(v uint16) uint16 {
+	m.setZS(v)
+	m.CPU.Flags = m.CPU.Flags.Without(isa.FlagCF | isa.FlagOF)
+	return v
+}
+
+// logicKeepCF sets ZF/SF and clears OF, preserving CF (shift results).
+func (m *Machine) logicKeepCF(v uint16) uint16 {
+	m.setZS(v)
+	m.CPU.Flags = m.CPU.Flags.Without(isa.FlagOF)
+	return v
+}
+
+// add16 computes a+b with full flag semantics.
+func (m *Machine) add16(a, b uint16) uint16 {
+	r := a + b
+	m.setZS(r)
+	m.CPU.Flags = m.CPU.Flags.
+		Set(isa.FlagCF, r < a).
+		Set(isa.FlagOF, (a^r)&(b^r)&0x8000 != 0)
+	return r
+}
+
+// sub16 computes a-b with full flag semantics (also used by cmp).
+func (m *Machine) sub16(a, b uint16) uint16 {
+	r := a - b
+	m.setZS(r)
+	m.CPU.Flags = m.CPU.Flags.
+		Set(isa.FlagCF, a < b).
+		Set(isa.FlagOF, (a^b)&(a^r)&0x8000 != 0)
+	return r
+}

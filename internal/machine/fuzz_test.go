@@ -1,0 +1,105 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"ssos/internal/isa"
+	"ssos/internal/mem"
+)
+
+// TestRandomProgramsNeverWedgeTheStepper feeds the machine fully random
+// byte soup as code under every exception policy and checks the
+// substrate invariants the self-stabilization results rest on: Step
+// stays total (exact step accounting), ROM stays immutable, and the
+// machine never panics — whatever the "program".
+func TestRandomProgramsNeverWedgeTheStepper(t *testing.T) {
+	romImage := make([]byte, 256)
+	for i := range romImage {
+		romImage[i] = byte(isa.OpNop)
+	}
+	romImage[0] = byte(isa.OpIret)
+
+	policies := []ExceptionPolicy{ExceptionHalt, ExceptionVector, ExceptionIDT}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		bus := mem.NewBus()
+		bus.SetROMWritePolicy(mem.ROMWriteFault)
+		if _, err := bus.AddROM("rom", 0xF0000, romImage); err != nil {
+			t.Fatal(err)
+		}
+		m := New(bus, Options{
+			ResetVector:        SegOff{0x0100, 0},
+			NMICounter:         trial%2 == 0,
+			HardwiredNMIVector: trial%3 == 0,
+			NMIVector:          SegOff{0xF000, 0},
+			ExceptionPolicy:    policies[trial%len(policies)],
+			ExceptionVector:    SegOff{0xF000, 0},
+			MemoryProtection:   trial%5 == 0,
+		})
+		// Random code everywhere the PC might land.
+		for i := 0; i < 4096; i++ {
+			bus.PokeRAM(uint32(rng.Intn(mem.AddrSpace)), byte(rng.Intn(256)))
+		}
+		m.CPU.IP = uint16(rng.Intn(1 << 16))
+		m.CPU.S[isa.CS] = uint16(rng.Intn(1 << 16))
+		m.CPU.S[isa.SS] = uint16(rng.Intn(1 << 16))
+		m.CPU.R[isa.SP] = uint16(rng.Intn(1 << 16))
+		m.CPU.Flags = isa.Flags(rng.Intn(1 << 16))
+		if rng.Intn(2) == 0 {
+			m.RaiseNMI()
+		}
+		const steps = 2000
+		m.Run(steps)
+		if m.Stats.Steps != steps {
+			t.Fatalf("trial %d: step accounting broke: %d", trial, m.Stats.Steps)
+		}
+		for i, b := range romImage {
+			if bus.Peek(0xF0000+uint32(i)) != b {
+				t.Fatalf("trial %d: ROM byte %d changed", trial, i)
+			}
+		}
+	}
+}
+
+// TestRandomFaultStormOnEveryApproachSubstrate hammers a single machine
+// with interleaved random faults and steps; the stepper must keep
+// exact accounting throughout.
+func TestRandomFaultStormSubstrate(t *testing.T) {
+	bus := mem.NewBus()
+	if _, err := bus.AddROM("rom", 0xF0000, []byte{byte(isa.OpJmp), 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	m := New(bus, Options{
+		ResetVector:        SegOff{0xF000, 0},
+		NMICounter:         true,
+		HardwiredNMIVector: true,
+		NMIVector:          SegOff{0xF000, 0},
+		ExceptionPolicy:    ExceptionVector,
+		ExceptionVector:    SegOff{0xF000, 0},
+	})
+	rng := rand.New(rand.NewSource(7))
+	var want uint64
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			m.CPU.IP = uint16(rng.Intn(1 << 16))
+		case 1:
+			m.CPU.S[isa.SReg(rng.Intn(int(isa.NumSRegs)))] = uint16(rng.Intn(1 << 16))
+		case 2:
+			m.CPU.NMICounter = uint16(rng.Intn(1 << 16))
+		case 3:
+			m.RaiseNMI()
+		case 4:
+			m.CPU.Halted = rng.Intn(2) == 0
+		case 5:
+			bus.PokeRAM(uint32(rng.Intn(mem.AddrSpace)), byte(rng.Intn(256)))
+		}
+		n := rng.Intn(50)
+		m.Run(n)
+		want += uint64(n)
+		if m.Stats.Steps != want {
+			t.Fatalf("accounting: %d != %d", m.Stats.Steps, want)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package machine
+
+import (
+	"fmt"
+
+	"ssos/internal/isa"
+	"ssos/internal/mem"
+)
+
+// Interrupt and exception vector numbers (x86 assignments).
+const (
+	VecNMI           = 2  // non-maskable interrupt (when not hardwired)
+	VecInvalidOpcode = 6  // undefined or malformed instruction
+	VecTimer         = 8  // default timer IRQ vector
+	VecGP            = 13 // general protection (e.g. store to ROM)
+)
+
+// ExceptionPolicy selects how the processor reacts to an exception
+// (invalid opcode, faulting store).
+type ExceptionPolicy uint8
+
+const (
+	// ExceptionHalt stops the processor, modelling an OS with no
+	// recovery path: a crash. Baselines use this.
+	ExceptionHalt ExceptionPolicy = iota
+	// ExceptionVector transfers control to the hardwired
+	// Options.ExceptionVector in ROM (the paper's default handlers
+	// "reside in the appropriate addresses in rom").
+	ExceptionVector
+	// ExceptionIDT vectors through the interrupt descriptor table,
+	// like stock hardware. A corrupted IDT then sends the processor
+	// anywhere — the hazard discussed in the paper's introduction.
+	ExceptionIDT
+)
+
+// Options configures the hardware variant being simulated.
+type Options struct {
+	// NMICounter enables the paper's proposed NMI countdown register.
+	// When false the machine uses the stock InNMI latch, which is not
+	// self-stabilizing.
+	NMICounter bool
+	// NMICounterMax is the value loaded into the counter when an NMI
+	// is delivered. It must exceed the NMI handler's execution length
+	// (in ticks) or the handler can be preempted by the next NMI
+	// forever.
+	NMICounterMax uint16
+	// HardwiredNMIVector routes NMI to NMIVector directly, bypassing
+	// the IDT, so that NMI entry survives arbitrary RAM corruption.
+	HardwiredNMIVector bool
+	// NMIVector is the NMI entry point when HardwiredNMIVector is set.
+	NMIVector SegOff
+	// FixedIDTR hardwires the IDT base to IDTBase, making the IDTR
+	// register non-writable (the paper's assumption "the idtr register
+	// value can not be changed").
+	FixedIDTR bool
+	// IDTBase is the hardwired IDT base when FixedIDTR is set.
+	IDTBase uint32
+	// ExceptionPolicy selects exception behaviour.
+	ExceptionPolicy ExceptionPolicy
+	// ExceptionVector is the hardwired exception entry point for
+	// ExceptionVector policy.
+	ExceptionVector SegOff
+	// ResetVector is where execution starts after reset.
+	ResetVector SegOff
+	// MemoryProtection enables the store-window extension: while
+	// FlagWP is set and the executing code resides in RAM, data stores
+	// outside the 4 KiB window at CPU.WP<<4 raise a general-protection
+	// exception. Code executing from ROM (the stabilizers) is exempt,
+	// playing the role of supervisor mode. This realizes, in
+	// real-mode terms, the isolation the paper defers to protected
+	// mode ("the data of each process resides in a distinct separate
+	// ram area" becomes hardware-enforced).
+	MemoryProtection bool
+}
+
+// WPWindowSize is the size in bytes of the memory-protection window.
+const WPWindowSize = 0x1000
+
+// Event classifies what one machine step did.
+type Event uint8
+
+// Step events.
+const (
+	EventInstr     Event = iota // executed one instruction (or one rep iteration)
+	EventNMI                    // delivered a non-maskable interrupt
+	EventIRQ                    // delivered a maskable interrupt
+	EventException              // raised an exception
+	EventReset                  // performed a hardware reset
+	EventHalted                 // idle tick while halted
+)
+
+func (e Event) String() string {
+	switch e {
+	case EventInstr:
+		return "instr"
+	case EventNMI:
+		return "nmi"
+	case EventIRQ:
+		return "irq"
+	case EventException:
+		return "exception"
+	case EventReset:
+		return "reset"
+	case EventHalted:
+		return "halted"
+	}
+	return "unknown"
+}
+
+// Stats counts step outcomes since machine creation.
+type Stats struct {
+	Steps      uint64 // total clock ticks
+	Instrs     uint64 // instructions executed (rep iterations count once each)
+	NMIs       uint64 // NMIs delivered
+	IRQs       uint64 // maskable interrupts delivered
+	Exceptions uint64 // exceptions raised
+	Resets     uint64 // hardware resets performed
+	HaltTicks  uint64 // ticks spent halted
+}
+
+// PortDevice is an I/O-port-mapped device.
+type PortDevice interface {
+	// In services the IN instruction for the given port.
+	In(port uint16) uint16
+	// Out services the OUT instruction for the given port.
+	Out(port uint16, v uint16)
+}
+
+// Ticker is a device driven by the system clock. Tick is called once
+// per machine step, before the processor acts, and may raise interrupt
+// pins.
+type Ticker interface {
+	Tick(m *Machine)
+}
+
+// Machine is the full system: processor, memory and devices.
+type Machine struct {
+	CPU   CPU
+	Bus   *mem.Bus
+	Opts  Options
+	Stats Stats
+
+	nmiPin   bool
+	resetPin bool
+	irqPin   bool
+	irqVec   uint8
+
+	ports   map[uint16]PortDevice
+	tickers []Ticker
+
+	// AfterStep, when non-nil, is invoked after every step with the
+	// event that occurred. Monitors and fault injectors hook here.
+	AfterStep func(m *Machine, ev Event)
+}
+
+// New creates a machine with the given bus and hardware options and
+// performs an initial reset.
+func New(bus *mem.Bus, opts Options) *Machine {
+	if opts.NMICounterMax == 0 {
+		opts.NMICounterMax = 4096
+	}
+	m := &Machine{Bus: bus, Opts: opts, ports: make(map[uint16]PortDevice)}
+	m.Reset()
+	return m
+}
+
+// Reset restores the architectural power-on state: registers cleared,
+// interrupts disabled, execution at the reset vector. Memory is NOT
+// cleared (RAM keeps whatever it held, as on real hardware).
+func (m *Machine) Reset() {
+	m.CPU = CPU{}
+	m.CPU.S[isa.CS] = m.Opts.ResetVector.Seg
+	m.CPU.IP = m.Opts.ResetVector.Off
+	m.nmiPin = false
+	m.resetPin = false
+	m.irqPin = false
+}
+
+// AddTicker registers a clock-driven device.
+func (m *Machine) AddTicker(t Ticker) { m.tickers = append(m.tickers, t) }
+
+// MapPort maps an I/O port to a device. Mapping a port twice replaces
+// the previous device.
+func (m *Machine) MapPort(port uint16, d PortDevice) { m.ports[port] = d }
+
+// RaiseNMI latches the NMI pin. The pin stays set until the NMI is
+// delivered (level-triggered latch, as the paper's watchdog assumes).
+func (m *Machine) RaiseNMI() { m.nmiPin = true }
+
+// NMIPending reports whether an NMI is latched but not yet delivered.
+func (m *Machine) NMIPending() bool { return m.nmiPin }
+
+// RaiseReset latches the reset pin; the next step performs a hardware
+// reset. The paper's first two schemes may wire the watchdog here
+// instead of to NMI.
+func (m *Machine) RaiseReset() { m.resetPin = true }
+
+// RaiseIRQ latches a maskable interrupt with the given IDT vector. It
+// is delivered when FlagIF is set.
+func (m *Machine) RaiseIRQ(vec uint8) {
+	m.irqPin = true
+	m.irqVec = vec
+}
+
+// IDTBase returns the effective interrupt descriptor table base,
+// honouring the FixedIDTR option.
+func (m *Machine) IDTBase() uint32 {
+	if m.Opts.FixedIDTR {
+		return m.Opts.IDTBase
+	}
+	return m.CPU.IDTR
+}
+
+// Linear computes the physical address of seg:off.
+func (m *Machine) Linear(seg isa.SReg, off uint16) uint32 {
+	return (uint32(m.CPU.S[seg])<<4 + uint32(off)) & mem.AddrMask
+}
+
+// LoadWord reads the 16-bit word at seg:off.
+func (m *Machine) LoadWord(seg isa.SReg, off uint16) uint16 {
+	// The two bytes are addressed with 16-bit offset wrap-around
+	// within the segment, as on real-mode hardware.
+	lo := m.Bus.LoadByte(m.Linear(seg, off))
+	hi := m.Bus.LoadByte(m.Linear(seg, off+1))
+	return uint16(lo) | uint16(hi)<<8
+}
+
+// StoreWord writes the 16-bit word at seg:off, reporting whether the
+// store succeeded (false means it targeted ROM under the fault policy).
+func (m *Machine) StoreWord(seg isa.SReg, off uint16, v uint16) bool {
+	ok1 := m.Bus.StoreByte(m.Linear(seg, off), byte(v))
+	ok2 := m.Bus.StoreByte(m.Linear(seg, off+1), byte(v>>8))
+	return ok1 && ok2
+}
+
+// push stores v on the stack (ss:sp), decrementing sp first. Interrupt
+// pushes ignore store faults: the hardware drives the bus regardless,
+// and a ROM target simply swallows the value.
+func (m *Machine) push(v uint16) bool {
+	m.CPU.R[isa.SP] -= 2
+	return m.StoreWord(isa.SS, m.CPU.R[isa.SP], v)
+}
+
+// pop loads a word from the stack (ss:sp), incrementing sp.
+func (m *Machine) pop() uint16 {
+	v := m.LoadWord(isa.SS, m.CPU.R[isa.SP])
+	m.CPU.R[isa.SP] += 2
+	return v
+}
+
+// idtEntry reads the far pointer for vector n from the IDT.
+func (m *Machine) idtEntry(n uint8) SegOff {
+	base := (m.IDTBase() + uint32(n)*4) & mem.AddrMask
+	return SegOff{
+		Off: m.Bus.LoadWord(base),
+		Seg: m.Bus.LoadWord(base + 2),
+	}
+}
+
+// SetIDTEntry writes the far pointer for vector n into the IDT (a
+// setup-time convenience for system builders; the guest could equally
+// write it with store instructions).
+func (m *Machine) SetIDTEntry(n uint8, target SegOff) {
+	base := (m.IDTBase() + uint32(n)*4) & mem.AddrMask
+	m.Bus.Poke(base, byte(target.Off))
+	m.Bus.Poke(base+1, byte(target.Off>>8))
+	m.Bus.Poke(base+2, byte(target.Seg))
+	m.Bus.Poke(base+3, byte(target.Seg>>8))
+}
+
+// portIn services IN; unmapped ports read as all-ones, like a floating
+// bus.
+func (m *Machine) portIn(port uint16) uint16 {
+	if d, ok := m.ports[port]; ok {
+		return d.In(port)
+	}
+	return 0xFFFF
+}
+
+// portOut services OUT; writes to unmapped ports are dropped.
+func (m *Machine) portOut(port uint16, v uint16) {
+	if d, ok := m.ports[port]; ok {
+		d.Out(port, v)
+	}
+}
+
+// String summarizes the machine state.
+func (m *Machine) String() string {
+	return fmt.Sprintf("machine{%v steps=%d}", &m.CPU, m.Stats.Steps)
+}

@@ -1,0 +1,669 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ssos/internal/isa"
+	"ssos/internal/mem"
+)
+
+// prog encodes instructions back to back.
+func prog(ins ...isa.Inst) []byte {
+	var b []byte
+	for _, in := range ins {
+		b = in.Encode(b)
+	}
+	return b
+}
+
+// newTestMachine loads code into RAM at 0100:0000 and points cs:ip at
+// it, with a stack at 2000:1000.
+func newTestMachine(t *testing.T, code []byte) *Machine {
+	if t != nil {
+		t.Helper()
+	}
+	bus := mem.NewBus()
+	m := New(bus, Options{ResetVector: SegOff{0x0100, 0}})
+	for i, b := range code {
+		bus.Poke(0x1000+uint32(i), b)
+	}
+	m.CPU.S[isa.SS] = 0x2000
+	m.CPU.R[isa.SP] = 0x1000
+	m.CPU.S[isa.DS] = 0x0100
+	return m
+}
+
+func r(reg isa.Reg) uint8 { return uint8(reg) }
+
+func TestMovImmediateAndRegister(t *testing.T) {
+	m := newTestMachine(t, prog(
+		isa.Inst{Op: isa.OpMovRI, R1: r(isa.AX), Imm: 0x1234},
+		isa.Inst{Op: isa.OpMovRR, R1: r(isa.BX), R2: r(isa.AX)},
+		isa.Inst{Op: isa.OpMovSR, R1: uint8(isa.ES), R2: r(isa.BX)},
+		isa.Inst{Op: isa.OpMovRS, R1: r(isa.CX), R2: uint8(isa.ES)},
+	))
+	m.Run(4)
+	if m.CPU.R[isa.AX] != 0x1234 || m.CPU.R[isa.BX] != 0x1234 {
+		t.Fatalf("regs: %v", &m.CPU)
+	}
+	if m.CPU.S[isa.ES] != 0x1234 || m.CPU.R[isa.CX] != 0x1234 {
+		t.Fatalf("seg move: %v", &m.CPU)
+	}
+	if m.Stats.Instrs != 4 {
+		t.Fatalf("Instrs = %d", m.Stats.Instrs)
+	}
+}
+
+func TestMemoryOperands(t *testing.T) {
+	abs := isa.MemOp{Seg: isa.DS, Disp: 0x200}
+	idx := isa.MemOp{Seg: isa.DS, Base: isa.BaseBX, Disp: 4}
+	m := newTestMachine(t, prog(
+		isa.Inst{Op: isa.OpMovMI, Mem: abs, Imm: 0xBEEF},
+		isa.Inst{Op: isa.OpMovRM, R1: r(isa.AX), Mem: abs},
+		isa.Inst{Op: isa.OpMovRI, R1: r(isa.BX), Imm: 0x1FC},
+		isa.Inst{Op: isa.OpMovRM, R1: r(isa.CX), Mem: idx}, // ds:bx+4 = 0x200
+		isa.Inst{Op: isa.OpMovMR, R1: r(isa.CX), Mem: isa.MemOp{Seg: isa.DS, Disp: 0x210}},
+	))
+	m.Run(5)
+	if m.CPU.R[isa.AX] != 0xBEEF || m.CPU.R[isa.CX] != 0xBEEF {
+		t.Fatalf("mem ops: %v", &m.CPU)
+	}
+	if got := m.LoadWord(isa.DS, 0x210); got != 0xBEEF {
+		t.Fatalf("stored word = %#x", got)
+	}
+}
+
+func TestSegmentOverrideAddressing(t *testing.T) {
+	m := newTestMachine(t, prog(
+		isa.Inst{Op: isa.OpMovMR, R1: r(isa.AX), Mem: isa.MemOp{Seg: isa.SS, Disp: 0x0FFE}},
+	))
+	m.CPU.R[isa.AX] = 0xCAFE
+	m.Run(1)
+	if got := m.Bus.LoadWord(0x20000 + 0x0FFE); got != 0xCAFE {
+		t.Fatalf("ss-relative store = %#x", got)
+	}
+}
+
+func TestReg8Halves(t *testing.T) {
+	m := newTestMachine(t, prog(
+		isa.Inst{Op: isa.OpMovRI, R1: r(isa.AX), Imm: 0x1234},
+		isa.Inst{Op: isa.OpMovR8I, R1: uint8(isa.AH), Imm: 0xAB},
+		isa.Inst{Op: isa.OpMovR8R8, R1: uint8(isa.BL), R2: uint8(isa.AL)},
+	))
+	m.Run(3)
+	if m.CPU.R[isa.AX] != 0xAB34 {
+		t.Fatalf("ax = %#x", m.CPU.R[isa.AX])
+	}
+	if m.CPU.Reg8(isa.BL) != 0x34 {
+		t.Fatalf("bl = %#x", m.CPU.Reg8(isa.BL))
+	}
+}
+
+func TestMul8(t *testing.T) {
+	// Paper Figure 3 lines 12-13: record address = index * entry size.
+	m := newTestMachine(t, prog(
+		isa.Inst{Op: isa.OpMovR8I, R1: uint8(isa.AL), Imm: 3},
+		isa.Inst{Op: isa.OpMovR8I, R1: uint8(isa.AH), Imm: 26},
+		isa.Inst{Op: isa.OpMulR8, R1: uint8(isa.AH)},
+	))
+	m.Run(3)
+	if m.CPU.R[isa.AX] != 78 {
+		t.Fatalf("ax = %d, want 78", m.CPU.R[isa.AX])
+	}
+	if m.CPU.Flags.Has(isa.FlagCF) {
+		t.Fatal("CF should be clear for small product")
+	}
+}
+
+func TestArithmeticFlags(t *testing.T) {
+	m := newTestMachine(t, prog(
+		isa.Inst{Op: isa.OpMovRI, R1: r(isa.AX), Imm: 0xFFFF},
+		isa.Inst{Op: isa.OpAddRI, R1: r(isa.AX), Imm: 1}, // 0, CF
+	))
+	m.Run(2)
+	if m.CPU.R[isa.AX] != 0 || !m.CPU.Flags.Has(isa.FlagZF) || !m.CPU.Flags.Has(isa.FlagCF) {
+		t.Fatalf("add wrap: ax=%#x fl=%v", m.CPU.R[isa.AX], m.CPU.Flags)
+	}
+
+	m = newTestMachine(t, prog(
+		isa.Inst{Op: isa.OpMovRI, R1: r(isa.AX), Imm: 5},
+		isa.Inst{Op: isa.OpCmpRI, R1: r(isa.AX), Imm: 7}, // below → CF
+	))
+	m.Run(2)
+	if !m.CPU.Flags.Has(isa.FlagCF) || m.CPU.Flags.Has(isa.FlagZF) {
+		t.Fatalf("cmp below: fl=%v", m.CPU.Flags)
+	}
+	if m.CPU.R[isa.AX] != 5 {
+		t.Fatal("cmp must not modify the register")
+	}
+}
+
+func TestConditionalJumps(t *testing.T) {
+	// cmp ax,ax → equal → je taken.
+	code := prog(
+		isa.Inst{Op: isa.OpCmpRR, R1: r(isa.AX), R2: r(isa.AX)}, // 0
+		isa.Inst{Op: isa.OpJe, Imm: 0x10},                       // 3
+	)
+	m := newTestMachine(t, code)
+	m.Run(2)
+	if m.CPU.IP != 0x10 {
+		t.Fatalf("je not taken: ip=%#x", m.CPU.IP)
+	}
+
+	// jb taken on CF (paper Figure 5 line 49 uses jb for cs check).
+	m = newTestMachine(t, prog(
+		isa.Inst{Op: isa.OpMovRI, R1: r(isa.AX), Imm: 1},
+		isa.Inst{Op: isa.OpCmpRI, R1: r(isa.AX), Imm: 2},
+		isa.Inst{Op: isa.OpJb, Imm: 0x40},
+	))
+	m.Run(3)
+	if m.CPU.IP != 0x40 {
+		t.Fatalf("jb not taken: ip=%#x", m.CPU.IP)
+	}
+
+	// jne falls through when equal.
+	m = newTestMachine(t, prog(
+		isa.Inst{Op: isa.OpCmpRR, R1: r(isa.AX), R2: r(isa.AX)},
+		isa.Inst{Op: isa.OpJne, Imm: 0x40},
+		isa.Inst{Op: isa.OpMovRI, R1: r(isa.BX), Imm: 7},
+	))
+	m.Run(3)
+	if m.CPU.R[isa.BX] != 7 {
+		t.Fatal("jne should fall through")
+	}
+}
+
+func TestJmpFarLoadsCSIP(t *testing.T) {
+	m := newTestMachine(t, prog(isa.Inst{Op: isa.OpJmpFar, Imm: 0xA000, Imm2: 0x0042}))
+	m.Run(1)
+	if m.CPU.S[isa.CS] != 0xA000 || m.CPU.IP != 0x0042 {
+		t.Fatalf("far jmp: %v", m.CPU.PC())
+	}
+}
+
+func TestLoopDecrementsCX(t *testing.T) {
+	// mov cx,3; L: inc ax; loop L
+	m := newTestMachine(t, prog(
+		isa.Inst{Op: isa.OpMovRI, R1: r(isa.CX), Imm: 3}, // 0..3
+		isa.Inst{Op: isa.OpIncR, R1: r(isa.AX)},          // 4..5
+		isa.Inst{Op: isa.OpLoop, Imm: 4},                 // 6..8
+	))
+	m.Run(1 + 3*2)
+	if m.CPU.R[isa.AX] != 3 || m.CPU.R[isa.CX] != 0 {
+		t.Fatalf("loop: ax=%d cx=%d", m.CPU.R[isa.AX], m.CPU.R[isa.CX])
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	// call 0x20; hlt; ... at 0x20: mov ax,9; ret
+	code := make([]byte, 0x40)
+	head := prog(
+		isa.Inst{Op: isa.OpCall, Imm: 0x20},
+		isa.Inst{Op: isa.OpHlt},
+	)
+	copy(code, head)
+	sub := prog(
+		isa.Inst{Op: isa.OpMovRI, R1: r(isa.AX), Imm: 9},
+		isa.Inst{Op: isa.OpRet},
+	)
+	copy(code[0x20:], sub)
+	m := newTestMachine(t, code)
+	m.Run(5)
+	if m.CPU.R[isa.AX] != 9 || !m.CPU.Halted {
+		t.Fatalf("call/ret: ax=%d halted=%v ip=%#x", m.CPU.R[isa.AX], m.CPU.Halted, m.CPU.IP)
+	}
+}
+
+func TestPushPopStack(t *testing.T) {
+	m := newTestMachine(t, prog(
+		isa.Inst{Op: isa.OpMovRI, R1: r(isa.AX), Imm: 0x5678},
+		isa.Inst{Op: isa.OpPushR, R1: r(isa.AX)},
+		isa.Inst{Op: isa.OpPopR, R1: r(isa.BX)},
+		isa.Inst{Op: isa.OpPushI, Imm: 0x9ABC},
+		isa.Inst{Op: isa.OpPopS, R1: uint8(isa.ES)},
+		isa.Inst{Op: isa.OpPushS, R1: uint8(isa.ES)},
+		isa.Inst{Op: isa.OpPopR, R1: r(isa.CX)},
+	))
+	sp0 := m.CPU.R[isa.SP]
+	m.Run(7)
+	if m.CPU.R[isa.BX] != 0x5678 || m.CPU.S[isa.ES] != 0x9ABC || m.CPU.R[isa.CX] != 0x9ABC {
+		t.Fatalf("stack ops: %v", &m.CPU)
+	}
+	if m.CPU.R[isa.SP] != sp0 {
+		t.Fatalf("sp drifted: %#x -> %#x", sp0, m.CPU.R[isa.SP])
+	}
+}
+
+func TestStringCopyAndDirection(t *testing.T) {
+	// Copy 4 bytes from ds:0x300 to es:0x400 with rep movsb.
+	m := newTestMachine(t, prog(
+		isa.Inst{Op: isa.OpCld},
+		isa.Inst{Op: isa.OpRepMovsb},
+		isa.Inst{Op: isa.OpHlt},
+	))
+	m.CPU.S[isa.ES] = 0x0100
+	m.CPU.R[isa.SI] = 0x300
+	m.CPU.R[isa.DI] = 0x400
+	m.CPU.R[isa.CX] = 4
+	for i := 0; i < 4; i++ {
+		m.Bus.Poke(0x1000+0x300+uint32(i), byte(0x10+i))
+	}
+	// 1 cld + 4 copy ticks + hlt
+	m.Run(6)
+	for i := 0; i < 4; i++ {
+		if got := m.Bus.LoadByte(0x1000 + 0x400 + uint32(i)); got != byte(0x10+i) {
+			t.Fatalf("byte %d = %#x", i, got)
+		}
+	}
+	if m.CPU.R[isa.CX] != 0 || !m.CPU.Halted {
+		t.Fatalf("after rep: cx=%d halted=%v", m.CPU.R[isa.CX], m.CPU.Halted)
+	}
+	if m.CPU.R[isa.SI] != 0x304 || m.CPU.R[isa.DI] != 0x404 {
+		t.Fatalf("si/di: %#x %#x", m.CPU.R[isa.SI], m.CPU.R[isa.DI])
+	}
+}
+
+func TestRepMovsbZeroCXIsNop(t *testing.T) {
+	m := newTestMachine(t, prog(
+		isa.Inst{Op: isa.OpRepMovsb},
+		isa.Inst{Op: isa.OpHlt},
+	))
+	m.CPU.R[isa.CX] = 0
+	m.Run(2)
+	if !m.CPU.Halted {
+		t.Fatal("rep with cx=0 should fall through in one step")
+	}
+}
+
+func TestRepMovsbTerminatesFromAnyCX(t *testing.T) {
+	// Property (paper Lemma 3.2 discussion): the cx-bounded copy always
+	// terminates, for any initial cx value.
+	f := func(cx uint16) bool {
+		m := newTestMachine(nil, prog(
+			isa.Inst{Op: isa.OpRepMovsb},
+			isa.Inst{Op: isa.OpHlt},
+		))
+		m.CPU.R[isa.CX] = cx
+		return m.RunUntil(int(cx)+4, func(m *Machine) bool { return m.CPU.Halted })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStosbLodsb(t *testing.T) {
+	m := newTestMachine(t, prog(
+		isa.Inst{Op: isa.OpMovR8I, R1: uint8(isa.AL), Imm: 0x7E},
+		isa.Inst{Op: isa.OpStosb},
+		isa.Inst{Op: isa.OpLodsb},
+	))
+	m.CPU.S[isa.ES] = 0x0100
+	m.CPU.R[isa.DI] = 0x500
+	m.CPU.R[isa.SI] = 0x500
+	m.Run(3)
+	if m.Bus.LoadByte(0x1000+0x500) != 0x7E {
+		t.Fatal("stosb did not store")
+	}
+	if m.CPU.Reg8(isa.AL) != 0x7E || m.CPU.R[isa.SI] != 0x501 || m.CPU.R[isa.DI] != 0x501 {
+		t.Fatalf("lodsb/advance: %v", &m.CPU)
+	}
+}
+
+type testPort struct {
+	last  uint16
+	value uint16
+	outs  int
+}
+
+func (p *testPort) In(uint16) uint16 { return p.value }
+func (p *testPort) Out(_ uint16, v uint16) {
+	p.last = v
+	p.outs++
+}
+
+func TestIOPorts(t *testing.T) {
+	m := newTestMachine(t, prog(
+		isa.Inst{Op: isa.OpMovRI, R1: r(isa.AX), Imm: 0x4242},
+		isa.Inst{Op: isa.OpOutI, Imm: 0x10},
+		isa.Inst{Op: isa.OpInI, Imm: 0x10},
+		isa.Inst{Op: isa.OpMovRI, R1: r(isa.DX), Imm: 0x10},
+		isa.Inst{Op: isa.OpOutDx},
+		isa.Inst{Op: isa.OpInI, Imm: 0x99}, // unmapped
+	))
+	p := &testPort{value: 0x1111}
+	m.MapPort(0x10, p)
+	m.Run(6)
+	if p.last != 0x1111 || p.outs != 2 {
+		t.Fatalf("port writes: %+v", p)
+	}
+	if m.CPU.R[isa.AX] != 0xFFFF {
+		t.Fatalf("unmapped port read = %#x, want 0xFFFF", m.CPU.R[isa.AX])
+	}
+}
+
+func TestHltAndNMIWake(t *testing.T) {
+	m := newTestMachine(t, prog(isa.Inst{Op: isa.OpHlt}))
+	m.Opts.NMICounter = true
+	m.Opts.HardwiredNMIVector = true
+	m.Opts.NMIVector = SegOff{0x0100, 0x80}
+	m.Run(3)
+	if !m.CPU.Halted || m.Stats.HaltTicks != 2 {
+		t.Fatalf("halt: %v stats=%+v", m.CPU.Halted, m.Stats)
+	}
+	m.RaiseNMI()
+	ev := m.Step()
+	if ev != EventNMI || m.CPU.Halted {
+		t.Fatalf("NMI wake: ev=%v halted=%v", ev, m.CPU.Halted)
+	}
+	if m.CPU.PC() != (SegOff{0x0100, 0x80}) {
+		t.Fatalf("NMI vector: %v", m.CPU.PC())
+	}
+}
+
+func TestNMIPushesAndIretRestores(t *testing.T) {
+	// Handler at 0100:0040 does iret; main does nops.
+	code := make([]byte, 0x60)
+	copy(code, prog(isa.Inst{Op: isa.OpNop}, isa.Inst{Op: isa.OpNop}))
+	copy(code[0x40:], prog(isa.Inst{Op: isa.OpIret}))
+	m := newTestMachine(t, code)
+	m.Opts.NMICounter = true
+	m.Opts.NMICounterMax = 100
+	m.Opts.HardwiredNMIVector = true
+	m.Opts.NMIVector = SegOff{0x0100, 0x40}
+
+	m.Step() // one nop, ip=1
+	m.RaiseNMI()
+	if ev := m.Step(); ev != EventNMI {
+		t.Fatalf("ev=%v", ev)
+	}
+	if m.CPU.NMICounter != 100 {
+		t.Fatalf("nmi counter = %d", m.CPU.NMICounter)
+	}
+	if m.CPU.Flags.Has(isa.FlagIF) {
+		t.Fatal("IF should be cleared on NMI entry")
+	}
+	// Execute iret.
+	if ev := m.Step(); ev != EventInstr {
+		t.Fatalf("iret ev=%v", ev)
+	}
+	if m.CPU.PC() != (SegOff{0x0100, 1}) {
+		t.Fatalf("resume pc = %v", m.CPU.PC())
+	}
+	if m.CPU.NMICounter != 0 {
+		t.Fatalf("iret must zero nmi counter, got %d", m.CPU.NMICounter)
+	}
+}
+
+func TestNMICounterMasksDelivery(t *testing.T) {
+	m := newTestMachine(t, prog(
+		isa.Inst{Op: isa.OpNop}, isa.Inst{Op: isa.OpNop}, isa.Inst{Op: isa.OpNop},
+		isa.Inst{Op: isa.OpNop}, isa.Inst{Op: isa.OpNop}, isa.Inst{Op: isa.OpNop},
+	))
+	m.Opts.NMICounter = true
+	m.Opts.HardwiredNMIVector = true
+	m.Opts.NMIVector = SegOff{0x0100, 0x40}
+	m.CPU.NMICounter = 3
+	m.RaiseNMI()
+	// Counter 3,2,1 → three instruction steps; delivery on the fourth.
+	for i := 0; i < 3; i++ {
+		if ev := m.Step(); ev != EventInstr {
+			t.Fatalf("step %d: ev=%v (counter=%d)", i, ev, m.CPU.NMICounter)
+		}
+	}
+	if ev := m.Step(); ev != EventNMI {
+		t.Fatalf("expected NMI delivery, got %v", ev)
+	}
+}
+
+func TestNMICounterConvergesFromAnyState(t *testing.T) {
+	// Property (paper Lemma 3.1): with the NMI-counter hardware, from
+	// ANY processor state a raised NMI is delivered within
+	// counter+1 steps.
+	f := func(counter uint16, halted bool) bool {
+		m := newTestMachine(nil, prog(isa.Inst{Op: isa.OpNop}))
+		m.Opts.NMICounter = true
+		m.Opts.HardwiredNMIVector = true
+		m.Opts.NMIVector = SegOff{0x0100, 0x40}
+		m.CPU.NMICounter = counter
+		m.CPU.Halted = halted
+		m.RaiseNMI()
+		delivered := false
+		for i := 0; i <= int(counter)+1; i++ {
+			if m.Step() == EventNMI {
+				delivered = true
+				break
+			}
+		}
+		return delivered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStockNMILatchCanMaskForever(t *testing.T) {
+	// The hazard motivating the paper's NMI counter: with stock
+	// hardware, an arbitrary initial state with InNMI set never
+	// delivers NMIs if the code never executes iret.
+	m := newTestMachine(t, prog(isa.Inst{Op: isa.OpJmp, Imm: 0})) // tight loop
+	m.Opts.NMICounter = false
+	m.CPU.InNMI = true
+	m.RaiseNMI()
+	for i := 0; i < 10000; i++ {
+		if m.Step() == EventNMI {
+			t.Fatal("NMI delivered despite stuck InNMI latch")
+		}
+	}
+	if m.Stats.NMIs != 0 {
+		t.Fatal("unexpected NMI delivery")
+	}
+}
+
+func TestMaskableIRQRespectsIF(t *testing.T) {
+	code := make([]byte, 0x60)
+	copy(code, prog(
+		isa.Inst{Op: isa.OpNop},
+		isa.Inst{Op: isa.OpSti},
+		isa.Inst{Op: isa.OpNop},
+	))
+	copy(code[0x40:], prog(isa.Inst{Op: isa.OpIret}))
+	m := newTestMachine(t, code)
+	m.Opts.FixedIDTR = true
+	m.SetIDTEntry(VecTimer, SegOff{0x0100, 0x40})
+	m.RaiseIRQ(VecTimer)
+	// IF clear: nop executes, no delivery.
+	if ev := m.Step(); ev != EventInstr {
+		t.Fatalf("ev=%v", ev)
+	}
+	m.Step() // sti
+	if ev := m.Step(); ev != EventIRQ {
+		t.Fatalf("IRQ after sti: ev=%v", ev)
+	}
+	if m.CPU.PC() != (SegOff{0x0100, 0x40}) {
+		t.Fatalf("IRQ vector: %v", m.CPU.PC())
+	}
+}
+
+func TestSoftwareInterrupt(t *testing.T) {
+	code := make([]byte, 0x60)
+	copy(code, prog(
+		isa.Inst{Op: isa.OpInt, Imm: 0x21},
+		isa.Inst{Op: isa.OpHlt},
+	))
+	copy(code[0x40:], prog(
+		isa.Inst{Op: isa.OpMovRI, R1: r(isa.AX), Imm: 0x77},
+		isa.Inst{Op: isa.OpIret},
+	))
+	m := newTestMachine(t, code)
+	m.Opts.FixedIDTR = true
+	m.SetIDTEntry(0x21, SegOff{0x0100, 0x40})
+	m.Run(4)
+	if m.CPU.R[isa.AX] != 0x77 || !m.CPU.Halted {
+		t.Fatalf("int/iret: ax=%#x halted=%v pc=%v", m.CPU.R[isa.AX], m.CPU.Halted, m.CPU.PC())
+	}
+}
+
+func TestInvalidOpcodeExceptionPolicies(t *testing.T) {
+	junk := []byte{0xFF, 0xFF}
+
+	// Halt policy.
+	m := newTestMachine(t, junk)
+	m.Opts.ExceptionPolicy = ExceptionHalt
+	if ev := m.Step(); ev != EventException || !m.CPU.Halted {
+		t.Fatalf("halt policy: ev=%v halted=%v", ev, m.CPU.Halted)
+	}
+
+	// Hardwired vector policy.
+	m = newTestMachine(t, junk)
+	m.Opts.ExceptionPolicy = ExceptionVector
+	m.Opts.ExceptionVector = SegOff{0xF000, 0x10}
+	if ev := m.Step(); ev != EventException {
+		t.Fatalf("ev=%v", ev)
+	}
+	if m.CPU.PC() != (SegOff{0xF000, 0x10}) {
+		t.Fatalf("vector policy pc: %v", m.CPU.PC())
+	}
+
+	// IDT policy.
+	m = newTestMachine(t, junk)
+	m.Opts.ExceptionPolicy = ExceptionIDT
+	m.Opts.FixedIDTR = true
+	m.SetIDTEntry(VecInvalidOpcode, SegOff{0xA000, 0x22})
+	if ev := m.Step(); ev != EventException {
+		t.Fatalf("ev=%v", ev)
+	}
+	if m.CPU.PC() != (SegOff{0xA000, 0x22}) {
+		t.Fatalf("idt policy pc: %v", m.CPU.PC())
+	}
+	if m.Stats.Exceptions != 1 {
+		t.Fatalf("exceptions = %d", m.Stats.Exceptions)
+	}
+}
+
+func TestROMStoreFaults(t *testing.T) {
+	bus := mem.NewBus()
+	bus.SetROMWritePolicy(mem.ROMWriteFault)
+	if _, err := bus.AddROM("r", 0x50000, make([]byte, 0x100)); err != nil {
+		t.Fatal(err)
+	}
+	code := prog(isa.Inst{Op: isa.OpMovMR, R1: r(isa.AX), Mem: isa.MemOp{Seg: isa.DS, Disp: 0}})
+	m := New(bus, Options{ResetVector: SegOff{0x0100, 0}, ExceptionPolicy: ExceptionHalt})
+	for i, b := range code {
+		bus.Poke(0x1000+uint32(i), b)
+	}
+	m.CPU.S[isa.DS] = 0x5000 // ds:0 = 0x50000 → ROM
+	if ev := m.Step(); ev != EventException {
+		t.Fatalf("ROM store: ev=%v", ev)
+	}
+}
+
+func TestResetPinAndVector(t *testing.T) {
+	m := newTestMachine(t, prog(isa.Inst{Op: isa.OpNop}))
+	m.CPU.R[isa.AX] = 0xDEAD
+	m.RaiseReset()
+	if ev := m.Step(); ev != EventReset {
+		t.Fatalf("ev=%v", ev)
+	}
+	if m.CPU.R[isa.AX] != 0 || m.CPU.PC() != (SegOff{0x0100, 0}) {
+		t.Fatalf("reset state: %v", &m.CPU)
+	}
+	if m.Stats.Resets != 1 {
+		t.Fatalf("resets = %d", m.Stats.Resets)
+	}
+}
+
+func TestIDTRCorruptionRedirectsInterrupts(t *testing.T) {
+	// The paper's idtr example: a corrupted idtr makes vectoring read
+	// attacker^Wfault-chosen garbage. With FixedIDTR the corruption has
+	// no effect.
+	code := make([]byte, 0x60)
+	copy(code, prog(isa.Inst{Op: isa.OpInt, Imm: 1}))
+	m := newTestMachine(t, code)
+	m.Opts.FixedIDTR = false
+	m.CPU.IDTR = 0x700 // corrupted base; entry 1 at 0x704 reads zeros
+	m.Bus.Poke(0x704, 0x34)
+	m.Bus.Poke(0x705, 0x12)
+	m.Bus.Poke(0x706, 0x00)
+	m.Bus.Poke(0x707, 0xB0)
+	m.Step()
+	if m.CPU.PC() != (SegOff{0xB000, 0x1234}) {
+		t.Fatalf("corrupted idtr should redirect: %v", m.CPU.PC())
+	}
+
+	m2 := newTestMachine(t, code)
+	m2.Opts.FixedIDTR = true
+	m2.Opts.IDTBase = 0
+	m2.CPU.IDTR = 0x700 // ignored
+	m2.SetIDTEntry(1, SegOff{0xC000, 0x1})
+	m2.Step()
+	if m2.CPU.PC() != (SegOff{0xC000, 0x1}) {
+		t.Fatalf("fixed idtr should use hardwired base: %v", m2.CPU.PC())
+	}
+}
+
+func TestAfterStepHook(t *testing.T) {
+	m := newTestMachine(t, prog(isa.Inst{Op: isa.OpNop}, isa.Inst{Op: isa.OpNop}))
+	var events []Event
+	m.AfterStep = func(_ *Machine, ev Event) { events = append(events, ev) }
+	m.Run(2)
+	if len(events) != 2 || events[0] != EventInstr {
+		t.Fatalf("hook events: %v", events)
+	}
+}
+
+func TestStepIsTotalFromArbitraryState(t *testing.T) {
+	// Property: Step never panics and always makes progress counting,
+	// whatever the CPU state — required for the "started in any
+	// configuration" model.
+	f := func(ax, bx, sp, ip, cs, ss uint16, flags uint16, nmic uint16, halted bool) bool {
+		m := newTestMachine(nil, prog(isa.Inst{Op: isa.OpNop}))
+		m.Opts.NMICounter = true
+		m.Opts.HardwiredNMIVector = true
+		m.Opts.NMIVector = SegOff{0x0100, 0}
+		m.CPU.R[isa.AX] = ax
+		m.CPU.R[isa.BX] = bx
+		m.CPU.R[isa.SP] = sp
+		m.CPU.IP = ip
+		m.CPU.S[isa.CS] = cs
+		m.CPU.S[isa.SS] = ss
+		m.CPU.Flags = isa.Flags(flags)
+		m.CPU.NMICounter = nmic
+		m.CPU.Halted = halted
+		before := m.Stats.Steps
+		for i := 0; i < 32; i++ {
+			m.Step()
+		}
+		return m.Stats.Steps == before+32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	m := newTestMachine(t, prog(
+		isa.Inst{Op: isa.OpMovRI, R1: r(isa.AX), Imm: 0x0081},
+		isa.Inst{Op: isa.OpShlRI, R1: r(isa.AX), Imm: 8},
+		isa.Inst{Op: isa.OpShrRI, R1: r(isa.AX), Imm: 15},
+	))
+	m.Run(2)
+	if m.CPU.R[isa.AX] != 0x8100 {
+		t.Fatalf("shl: %#x", m.CPU.R[isa.AX])
+	}
+	m.Run(1)
+	if m.CPU.R[isa.AX] != 0x0001 {
+		t.Fatalf("shr: %#x", m.CPU.R[isa.AX])
+	}
+}
+
+func TestLea(t *testing.T) {
+	m := newTestMachine(t, prog(
+		isa.Inst{Op: isa.OpMovRI, R1: r(isa.BX), Imm: 0x100},
+		isa.Inst{Op: isa.OpLea, R1: r(isa.SI), Mem: isa.MemOp{Seg: isa.DS, Base: isa.BaseBX, Disp: 0x23}},
+	))
+	m.Run(2)
+	if m.CPU.R[isa.SI] != 0x123 {
+		t.Fatalf("lea: %#x", m.CPU.R[isa.SI])
+	}
+}

@@ -1,0 +1,169 @@
+package machine
+
+import (
+	"testing"
+
+	"ssos/internal/isa"
+	"ssos/internal/mem"
+)
+
+// protMachine builds a machine with memory protection enabled, code in
+// RAM at 0100:0000 and a ROM copy of the same code at f000:0000.
+func protMachine(t *testing.T, code []byte) *Machine {
+	t.Helper()
+	bus := mem.NewBus()
+	if _, err := bus.AddROM("rom", 0xF0000, append([]byte(nil), code...)); err != nil {
+		t.Fatal(err)
+	}
+	m := New(bus, Options{
+		ResetVector:      SegOff{0x0100, 0},
+		MemoryProtection: true,
+		ExceptionPolicy:  ExceptionHalt,
+	})
+	for i, b := range code {
+		bus.Poke(0x1000+uint32(i), b)
+	}
+	m.CPU.S[isa.SS] = 0x2000
+	m.CPU.R[isa.SP] = 0x1000
+	m.CPU.S[isa.DS] = 0x0100
+	return m
+}
+
+func TestWPSetLoadsWindowRegister(t *testing.T) {
+	m := protMachine(t, prog(
+		isa.Inst{Op: isa.OpMovRI, R1: r(isa.AX), Imm: 0x6000},
+		isa.Inst{Op: isa.OpWPSet, R1: r(isa.AX)},
+	))
+	m.Run(2)
+	if m.CPU.WP != 0x6000 {
+		t.Fatalf("wp = %#x", m.CPU.WP)
+	}
+}
+
+func TestProtectionBlocksOutOfWindowStore(t *testing.T) {
+	// Store to ds:0 with ds=0x0100 (linear 0x1000), window at 0x60000.
+	m := protMachine(t, prog(
+		isa.Inst{Op: isa.OpMovMR, R1: r(isa.AX), Mem: isa.MemOp{Seg: isa.DS, Disp: 0x200}},
+	))
+	m.CPU.WP = 0x6000
+	m.CPU.Flags = m.CPU.Flags.With(isa.FlagWP)
+	before := m.Bus.Peek(0x1200)
+	if ev := m.Step(); ev != EventException {
+		t.Fatalf("out-of-window store: ev=%v", ev)
+	}
+	if m.Bus.Peek(0x1200) != before {
+		t.Fatal("store happened despite protection")
+	}
+}
+
+func TestProtectionAllowsInWindowStore(t *testing.T) {
+	m := protMachine(t, prog(
+		isa.Inst{Op: isa.OpMovRI, R1: r(isa.AX), Imm: 0xBEEF},
+		isa.Inst{Op: isa.OpMovMR, R1: r(isa.AX), Mem: isa.MemOp{Seg: isa.ES, Disp: 0x10}},
+	))
+	m.CPU.S[isa.ES] = 0x6000
+	m.CPU.WP = 0x6000
+	m.CPU.Flags = m.CPU.Flags.With(isa.FlagWP)
+	m.Run(2)
+	if got := m.Bus.LoadWord(0x60010); got != 0xBEEF {
+		t.Fatalf("in-window store lost: %#x", got)
+	}
+}
+
+func TestProtectionInactiveWithoutFlag(t *testing.T) {
+	m := protMachine(t, prog(
+		isa.Inst{Op: isa.OpMovMR, R1: r(isa.AX), Mem: isa.MemOp{Seg: isa.DS, Disp: 0x200}},
+	))
+	m.CPU.WP = 0x6000 // window far away, but FlagWP clear
+	if ev := m.Step(); ev != EventInstr {
+		t.Fatalf("ev=%v", ev)
+	}
+}
+
+func TestROMCodeIsExemptFromProtection(t *testing.T) {
+	// The same store executed from the ROM copy must succeed: ROM code
+	// plays supervisor (the stabilizers must be able to repair any RAM).
+	code := prog(
+		isa.Inst{Op: isa.OpMovMR, R1: r(isa.AX), Mem: isa.MemOp{Seg: isa.DS, Disp: 0x200}},
+	)
+	m := protMachine(t, code)
+	m.CPU.S[isa.CS] = 0xF000 // execute the ROM copy
+	m.CPU.IP = 0
+	m.CPU.R[isa.AX] = 0x7777
+	m.CPU.WP = 0x6000
+	m.CPU.Flags = m.CPU.Flags.With(isa.FlagWP)
+	if ev := m.Step(); ev != EventInstr {
+		t.Fatalf("ROM store: ev=%v", ev)
+	}
+	if got := m.Bus.LoadWord(0x1200); got != 0x7777 {
+		t.Fatalf("ROM-code store lost: %#x", got)
+	}
+}
+
+func TestProtectionBlocksGuestPushAndString(t *testing.T) {
+	// Pushes and string stores are data stores too.
+	m := protMachine(t, prog(isa.Inst{Op: isa.OpPushR, R1: r(isa.AX)}))
+	m.CPU.WP = 0x6000
+	m.CPU.Flags = m.CPU.Flags.With(isa.FlagWP)
+	sp := m.CPU.R[isa.SP]
+	if ev := m.Step(); ev != EventException {
+		t.Fatalf("push: ev=%v", ev)
+	}
+	if m.CPU.R[isa.SP] != sp {
+		t.Fatalf("sp drifted on blocked push: %#x -> %#x", sp, m.CPU.R[isa.SP])
+	}
+
+	m2 := protMachine(t, prog(isa.Inst{Op: isa.OpStosb}))
+	m2.CPU.S[isa.ES] = 0x0100
+	m2.CPU.R[isa.DI] = 0x500
+	m2.CPU.WP = 0x6000
+	m2.CPU.Flags = m2.CPU.Flags.With(isa.FlagWP)
+	if ev := m2.Step(); ev != EventException {
+		t.Fatalf("stosb: ev=%v", ev)
+	}
+
+	m3 := protMachine(t, prog(isa.Inst{Op: isa.OpMovsb}))
+	m3.CPU.S[isa.ES] = 0x0100
+	m3.CPU.R[isa.DI] = 0x500
+	m3.CPU.WP = 0x6000
+	m3.CPU.Flags = m3.CPU.Flags.With(isa.FlagWP)
+	if ev := m3.Step(); ev != EventException {
+		t.Fatalf("movsb: ev=%v", ev)
+	}
+}
+
+func TestInterruptDeliveryClearsWPFlag(t *testing.T) {
+	code := make([]byte, 0x60)
+	copy(code, prog(isa.Inst{Op: isa.OpNop}))
+	copy(code[0x40:], prog(isa.Inst{Op: isa.OpIret}))
+	m := protMachine(t, code)
+	m.Opts.NMICounter = true
+	m.Opts.HardwiredNMIVector = true
+	m.Opts.NMIVector = SegOff{0x0100, 0x40}
+	m.CPU.Flags = m.CPU.Flags.With(isa.FlagWP)
+	m.RaiseNMI()
+	if ev := m.Step(); ev != EventNMI {
+		t.Fatalf("ev=%v", ev)
+	}
+	if m.CPU.Flags.Has(isa.FlagWP) {
+		t.Fatal("WP not cleared on NMI entry")
+	}
+	m.Step() // iret restores the pushed flags
+	if !m.CPU.Flags.Has(isa.FlagWP) {
+		t.Fatal("WP not restored by iret")
+	}
+}
+
+func TestProtectionWindowBoundary(t *testing.T) {
+	// A word store whose second byte would fall past the window edge
+	// faults.
+	m := protMachine(t, prog(
+		isa.Inst{Op: isa.OpMovMR, R1: r(isa.AX), Mem: isa.MemOp{Seg: isa.ES, Disp: 0x0FFF}},
+	))
+	m.CPU.S[isa.ES] = 0x6000
+	m.CPU.WP = 0x6000
+	m.CPU.Flags = m.CPU.Flags.With(isa.FlagWP)
+	if ev := m.Step(); ev != EventException {
+		t.Fatalf("boundary store: ev=%v", ev)
+	}
+}

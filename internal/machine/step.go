@@ -1,0 +1,159 @@
+package machine
+
+import "ssos/internal/isa"
+
+// Step advances the system by one clock tick: devices tick, then the
+// processor performs (at most) one unit of work — a reset, an interrupt
+// delivery, one instruction, or an idle halt tick. It returns what
+// happened.
+//
+// This is the paper's "system step": the next configuration is a
+// function of the current configuration and the external inputs at the
+// clock tick. Step is total: it is well-defined from ANY configuration,
+// including corrupted ones, which is what makes the machine a valid
+// substrate for self-stabilization experiments.
+func (m *Machine) Step() Event {
+	m.Stats.Steps++
+	for _, t := range m.tickers {
+		t.Tick(m)
+	}
+
+	ev := m.stepCPU()
+
+	// The paper's NMI-counter hardware: decremented on every clock
+	// tick until it reaches zero, except on the tick that loaded it
+	// (NMI delivery), so the handler gets its full budget.
+	if m.Opts.NMICounter && ev != EventNMI && m.CPU.NMICounter > 0 {
+		m.CPU.NMICounter--
+	}
+
+	if m.AfterStep != nil {
+		m.AfterStep(m, ev)
+	}
+	return ev
+}
+
+// Run executes n steps and returns the machine for chaining.
+func (m *Machine) Run(n int) *Machine {
+	for i := 0; i < n; i++ {
+		m.Step()
+	}
+	return m
+}
+
+// RunUntil steps the machine until pred returns true or limit steps
+// have run; it reports whether pred was satisfied.
+func (m *Machine) RunUntil(limit int, pred func(*Machine) bool) bool {
+	for i := 0; i < limit; i++ {
+		m.Step()
+		if pred(m) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Machine) stepCPU() Event {
+	if m.resetPin {
+		m.Reset()
+		m.Stats.Resets++
+		return EventReset
+	}
+	if m.nmiPin && m.nmiDeliverable() {
+		m.deliverNMI()
+		m.Stats.NMIs++
+		return EventNMI
+	}
+	if m.irqPin && m.CPU.Flags.Has(isa.FlagIF) {
+		m.deliverIRQ()
+		m.Stats.IRQs++
+		return EventIRQ
+	}
+	if m.CPU.Halted {
+		m.Stats.HaltTicks++
+		return EventHalted
+	}
+	return m.execute()
+}
+
+// nmiDeliverable implements the two hardware variants: the paper's
+// counter (react only at zero — and zero is eventually reached from
+// any state) or the stock latch (react only when not already in an NMI
+// — which an arbitrary state can hold forever).
+func (m *Machine) nmiDeliverable() bool {
+	if m.Opts.NMICounter {
+		return m.CPU.NMICounter == 0
+	}
+	return !m.CPU.InNMI
+}
+
+func (m *Machine) deliverNMI() {
+	m.nmiPin = false
+	m.push(uint16(m.CPU.Flags))
+	m.push(m.CPU.S[isa.CS])
+	m.push(m.CPU.IP)
+	m.CPU.Flags = m.CPU.Flags.Without(isa.FlagIF | isa.FlagWP)
+	m.CPU.Halted = false
+	if m.Opts.NMICounter {
+		m.CPU.NMICounter = m.Opts.NMICounterMax
+	} else {
+		m.CPU.InNMI = true
+	}
+	var target SegOff
+	if m.Opts.HardwiredNMIVector {
+		target = m.Opts.NMIVector
+	} else {
+		target = m.idtEntry(VecNMI)
+	}
+	m.CPU.S[isa.CS] = target.Seg
+	m.CPU.IP = target.Off
+}
+
+func (m *Machine) deliverIRQ() {
+	m.irqPin = false
+	m.push(uint16(m.CPU.Flags))
+	m.push(m.CPU.S[isa.CS])
+	m.push(m.CPU.IP)
+	m.CPU.Flags = m.CPU.Flags.Without(isa.FlagIF | isa.FlagWP)
+	m.CPU.Halted = false
+	target := m.idtEntry(m.irqVec)
+	m.CPU.S[isa.CS] = target.Seg
+	m.CPU.IP = target.Off
+}
+
+// raiseException reacts to a processor exception according to the
+// configured policy. The program counter still addresses the faulting
+// instruction when this is called.
+func (m *Machine) raiseException(vec uint8) Event {
+	m.Stats.Exceptions++
+	switch m.Opts.ExceptionPolicy {
+	case ExceptionHalt:
+		m.CPU.Halted = true
+	case ExceptionVector:
+		m.push(uint16(m.CPU.Flags))
+		m.push(m.CPU.S[isa.CS])
+		m.push(m.CPU.IP)
+		m.CPU.Flags = m.CPU.Flags.Without(isa.FlagIF | isa.FlagWP)
+		m.CPU.S[isa.CS] = m.Opts.ExceptionVector.Seg
+		m.CPU.IP = m.Opts.ExceptionVector.Off
+	case ExceptionIDT:
+		m.push(uint16(m.CPU.Flags))
+		m.push(m.CPU.S[isa.CS])
+		m.push(m.CPU.IP)
+		m.CPU.Flags = m.CPU.Flags.Without(isa.FlagIF | isa.FlagWP)
+		target := m.idtEntry(vec)
+		m.CPU.S[isa.CS] = target.Seg
+		m.CPU.IP = target.Off
+	}
+	return EventException
+}
+
+// fetch reads and decodes the instruction at cs:ip. Offsets wrap
+// within the 64 KiB segment as on real hardware.
+func (m *Machine) fetch() (isa.Inst, int, bool) {
+	var buf [isa.MaxInstrSize]byte
+	for i := range buf {
+		buf[i] = m.Bus.LoadByte(m.Linear(isa.CS, m.CPU.IP+uint16(i)))
+	}
+	return isa.Decode(buf[:])
+}

@@ -1,0 +1,244 @@
+// Package mem implements the physical memory bus of the simulated
+// machine: a 20-bit (1 MiB) linear address space holding RAM and
+// write-protected ROM regions.
+//
+// ROM is the anchor of every design in the paper: the watchdog/
+// reinstall procedure, the scheduler and the pristine OS image live in
+// ROM and are assumed incorruptible ("the rom part of the memory is non
+// volatile and its content is guaranteed to remain unchanged", Section
+// 2). The bus enforces that: no store instruction and no fault
+// injection can alter a ROM region. What happens to the *store* is
+// configurable — real hardware silently ignores ROM writes, while the
+// paper's tailored designs route such anomalies (e.g. a store through a
+// corrupted ss) to an exception handler that reinstalls the OS.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AddrSpace is the size of the physical address space in bytes
+// (20 address bits, as in real-mode Pentium).
+const AddrSpace = 1 << 20
+
+// AddrMask masks a linear address to the physical address space.
+const AddrMask = AddrSpace - 1
+
+// ROMWritePolicy selects what a store to a ROM address does.
+type ROMWritePolicy uint8
+
+const (
+	// ROMWriteIgnore silently drops the store, as stock hardware does.
+	ROMWriteIgnore ROMWritePolicy = iota
+	// ROMWriteFault reports the store as a memory fault so the
+	// processor can raise an exception (used by the tailored designs,
+	// which turn anomalies into reinstall triggers).
+	ROMWriteFault
+)
+
+// Region is a named address range.
+type Region struct {
+	Name  string
+	Start uint32
+	Size  uint32
+}
+
+// End returns the first address past the region.
+func (r Region) End() uint32 { return r.Start + r.Size }
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint32) bool {
+	return addr >= r.Start && addr < r.End()
+}
+
+func (r Region) String() string {
+	return fmt.Sprintf("%s [%05x..%05x)", r.Name, r.Start, r.End())
+}
+
+// Bus is the physical memory bus. The zero value is not usable; create
+// one with NewBus.
+type Bus struct {
+	data   []byte
+	roms   []Region
+	policy ROMWritePolicy
+
+	// ROMWriteCount counts stores that targeted ROM, regardless of
+	// policy. Useful for detecting misbehaving guests in tests.
+	ROMWriteCount uint64
+}
+
+// NewBus returns a bus with all RAM zeroed and no ROM regions.
+func NewBus() *Bus {
+	return &Bus{data: make([]byte, AddrSpace)}
+}
+
+// SetROMWritePolicy selects the behaviour of stores targeting ROM.
+func (b *Bus) SetROMWritePolicy(p ROMWritePolicy) { b.policy = p }
+
+// ROMWritePolicy returns the current policy for stores targeting ROM.
+func (b *Bus) ROMWritePolicy() ROMWritePolicy { return b.policy }
+
+// AddROM installs data as a write-protected region at start. It fails
+// if the region is empty, exceeds the address space or overlaps an
+// existing ROM region.
+func (b *Bus) AddROM(name string, start uint32, data []byte) (Region, error) {
+	r := Region{Name: name, Start: start & AddrMask, Size: uint32(len(data))}
+	if len(data) == 0 {
+		return Region{}, fmt.Errorf("mem: rom %q is empty", name)
+	}
+	if uint64(r.Start)+uint64(r.Size) > AddrSpace {
+		return Region{}, fmt.Errorf("mem: rom %q exceeds address space: %v", name, r)
+	}
+	for _, other := range b.roms {
+		if r.Start < other.End() && other.Start < r.End() {
+			return Region{}, fmt.Errorf("mem: rom %q overlaps %v", name, other)
+		}
+	}
+	copy(b.data[r.Start:r.End()], data)
+	b.roms = append(b.roms, r)
+	sort.Slice(b.roms, func(i, j int) bool { return b.roms[i].Start < b.roms[j].Start })
+	return r, nil
+}
+
+// ROMs returns the installed ROM regions in address order.
+func (b *Bus) ROMs() []Region {
+	out := make([]Region, len(b.roms))
+	copy(out, b.roms)
+	return out
+}
+
+// InROM reports whether addr falls inside a ROM region.
+func (b *Bus) InROM(addr uint32) bool {
+	addr &= AddrMask
+	for _, r := range b.roms {
+		if r.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadByte returns the byte at addr.
+func (b *Bus) LoadByte(addr uint32) byte {
+	return b.data[addr&AddrMask]
+}
+
+// StoreByte stores v at addr. It returns false when the store targeted
+// ROM and the policy is ROMWriteFault; the store never alters ROM
+// either way.
+func (b *Bus) StoreByte(addr uint32, v byte) bool {
+	addr &= AddrMask
+	if b.InROM(addr) {
+		b.ROMWriteCount++
+		return b.policy == ROMWriteIgnore
+	}
+	b.data[addr] = v
+	return true
+}
+
+// LoadWord returns the little-endian 16-bit word at addr. The two bytes
+// are read at addr and addr+1 (mod address space), matching byte-wise
+// access.
+func (b *Bus) LoadWord(addr uint32) uint16 {
+	lo := b.LoadByte(addr)
+	hi := b.LoadByte(addr + 1)
+	return uint16(lo) | uint16(hi)<<8
+}
+
+// StoreWord stores the little-endian 16-bit word v at addr, reporting
+// whether both byte stores succeeded.
+func (b *Bus) StoreWord(addr uint32, v uint16) bool {
+	ok1 := b.StoreByte(addr, byte(v))
+	ok2 := b.StoreByte(addr+1, byte(v>>8))
+	return ok1 && ok2
+}
+
+// Poke writes v at addr bypassing ROM protection. It models agents
+// outside the instruction stream (initial-state setup in tests); fault
+// injection must use PokeRAM instead, since transient faults cannot
+// alter ROM.
+func (b *Bus) Poke(addr uint32, v byte) { b.data[addr&AddrMask] = v }
+
+// PokeRAM writes v at addr unless addr is in ROM; it reports whether
+// the write happened. This is the fault-injection entry point: soft
+// errors flip RAM and register bits but never ROM.
+func (b *Bus) PokeRAM(addr uint32, v byte) bool {
+	addr &= AddrMask
+	if b.InROM(addr) {
+		return false
+	}
+	b.data[addr] = v
+	return true
+}
+
+// Peek reads addr without any side effects (same as LoadByte; provided
+// for symmetry with Poke).
+func (b *Bus) Peek(addr uint32) byte { return b.data[addr&AddrMask] }
+
+// CopyOut copies length bytes starting at addr into a new slice.
+func (b *Bus) CopyOut(addr, length uint32) []byte {
+	out := make([]byte, length)
+	for i := uint32(0); i < length; i++ {
+		out[i] = b.data[(addr+i)&AddrMask]
+	}
+	return out
+}
+
+// RAMRegions returns the maximal address ranges not covered by ROM, in
+// address order. Fault injectors draw target addresses from these.
+func (b *Bus) RAMRegions() []Region {
+	var out []Region
+	next := uint32(0)
+	for _, r := range b.roms {
+		if r.Start > next {
+			out = append(out, Region{Name: "ram", Start: next, Size: r.Start - next})
+		}
+		if r.End() > next {
+			next = r.End()
+		}
+	}
+	if next < AddrSpace {
+		out = append(out, Region{Name: "ram", Start: next, Size: AddrSpace - next})
+	}
+	return out
+}
+
+// RAMSize returns the total number of RAM (non-ROM) bytes.
+func (b *Bus) RAMSize() uint32 {
+	var n uint32
+	for _, r := range b.RAMRegions() {
+		n += r.Size
+	}
+	return n
+}
+
+// RAMAddr maps an index in [0, RAMSize()) to the linear address of the
+// i'th RAM byte. It lets fault injectors choose uniformly among RAM
+// bytes without rejection sampling.
+func (b *Bus) RAMAddr(i uint32) uint32 {
+	for _, r := range b.RAMRegions() {
+		if i < r.Size {
+			return r.Start + i
+		}
+		i -= r.Size
+	}
+	return AddrMask // unreachable for in-range i
+}
+
+// Snapshot returns a copy of the full address space contents.
+func (b *Bus) Snapshot() []byte {
+	out := make([]byte, AddrSpace)
+	copy(out, b.data)
+	return out
+}
+
+// Restore overwrites the full address space (including ROM images —
+// the regions stay registered) from a snapshot taken with Snapshot.
+func (b *Bus) Restore(snap []byte) error {
+	if len(snap) != AddrSpace {
+		return fmt.Errorf("mem: snapshot length %d, want %d", len(snap), AddrSpace)
+	}
+	copy(b.data, snap)
+	return nil
+}

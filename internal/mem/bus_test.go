@@ -1,0 +1,207 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadStoreByte(t *testing.T) {
+	b := NewBus()
+	if !b.StoreByte(0x1234, 0xAB) {
+		t.Fatal("write failed")
+	}
+	if got := b.LoadByte(0x1234); got != 0xAB {
+		t.Fatalf("read = %#x, want 0xAB", got)
+	}
+}
+
+func TestAddressWrapping(t *testing.T) {
+	b := NewBus()
+	b.StoreByte(AddrSpace+5, 0x42) // wraps to 5
+	if got := b.LoadByte(5); got != 0x42 {
+		t.Fatalf("wrapped read = %#x, want 0x42", got)
+	}
+}
+
+func TestWordLittleEndian(t *testing.T) {
+	b := NewBus()
+	b.StoreWord(0x100, 0xBEEF)
+	if b.LoadByte(0x100) != 0xEF || b.LoadByte(0x101) != 0xBE {
+		t.Fatal("word not little-endian")
+	}
+	if got := b.LoadWord(0x100); got != 0xBEEF {
+		t.Fatalf("LoadWord = %#x", got)
+	}
+}
+
+func TestWordWrapsAtTop(t *testing.T) {
+	b := NewBus()
+	b.StoreWord(AddrMask, 0x1234)
+	if b.LoadByte(AddrMask) != 0x34 || b.LoadByte(0) != 0x12 {
+		t.Fatal("word at top of memory should wrap")
+	}
+	if got := b.LoadWord(AddrMask); got != 0x1234 {
+		t.Fatalf("LoadWord wrap = %#x", got)
+	}
+}
+
+func TestROMProtection(t *testing.T) {
+	b := NewBus()
+	rom := []byte{1, 2, 3, 4}
+	r, err := b.AddROM("bios", 0xF0000, rom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains(0xF0002) || r.Contains(0xF0004) {
+		t.Fatal("region bounds wrong")
+	}
+
+	// Ignore policy: write reports ok but ROM unchanged.
+	b.SetROMWritePolicy(ROMWriteIgnore)
+	if !b.StoreByte(0xF0001, 0xFF) {
+		t.Fatal("ignore policy should report ok")
+	}
+	if b.LoadByte(0xF0001) != 2 {
+		t.Fatal("ROM was modified")
+	}
+
+	// Fault policy: write reports failure, ROM unchanged.
+	b.SetROMWritePolicy(ROMWriteFault)
+	if b.StoreByte(0xF0001, 0xFF) {
+		t.Fatal("fault policy should report failure")
+	}
+	if b.LoadByte(0xF0001) != 2 {
+		t.Fatal("ROM was modified under fault policy")
+	}
+	if b.ROMWriteCount != 2 {
+		t.Fatalf("ROMWriteCount = %d, want 2", b.ROMWriteCount)
+	}
+
+	// PokeRAM must refuse ROM addresses.
+	if b.PokeRAM(0xF0000, 9) {
+		t.Fatal("PokeRAM wrote to ROM")
+	}
+	// Poke bypasses protection (test setup only).
+	b.Poke(0xF0000, 9)
+	if b.LoadByte(0xF0000) != 9 {
+		t.Fatal("Poke did not write")
+	}
+}
+
+func TestAddROMErrors(t *testing.T) {
+	b := NewBus()
+	if _, err := b.AddROM("empty", 0, nil); err == nil {
+		t.Error("empty ROM accepted")
+	}
+	if _, err := b.AddROM("huge", AddrSpace-2, make([]byte, 4)); err == nil {
+		t.Error("out-of-range ROM accepted")
+	}
+	if _, err := b.AddROM("a", 0x1000, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddROM("b", 0x1008, make([]byte, 16)); err == nil {
+		t.Error("overlapping ROM accepted")
+	}
+}
+
+func TestRAMRegions(t *testing.T) {
+	b := NewBus()
+	if n := b.RAMSize(); n != AddrSpace {
+		t.Fatalf("RAMSize = %d, want full space", n)
+	}
+	if _, err := b.AddROM("lo", 0x0000, make([]byte, 0x400)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddROM("hi", 0xF0000, make([]byte, 0x10000)); err != nil {
+		t.Fatal(err)
+	}
+	regs := b.RAMRegions()
+	if len(regs) != 1 {
+		t.Fatalf("RAMRegions = %v", regs)
+	}
+	if regs[0].Start != 0x400 || regs[0].End() != 0xF0000 {
+		t.Fatalf("RAM region = %v", regs[0])
+	}
+	if got, want := b.RAMSize(), uint32(0xF0000-0x400); got != want {
+		t.Fatalf("RAMSize = %#x, want %#x", got, want)
+	}
+}
+
+func TestRAMAddrCoversExactlyRAM(t *testing.T) {
+	b := NewBus()
+	if _, err := b.AddROM("mid", 0x8000, make([]byte, 0x100)); err != nil {
+		t.Fatal(err)
+	}
+	// Every index maps to a RAM (non-ROM) address; boundary indices map
+	// around the ROM hole.
+	if a := b.RAMAddr(0x7FFF); a != 0x7FFF {
+		t.Fatalf("RAMAddr(0x7FFF) = %#x", a)
+	}
+	if a := b.RAMAddr(0x8000); a != 0x8100 {
+		t.Fatalf("RAMAddr(0x8000) = %#x", a)
+	}
+	f := func(i uint32) bool {
+		return !b.InROM(b.RAMAddr(i % b.RAMSize()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	b := NewBus()
+	if _, err := b.AddROM("r", 0x100, []byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	b.StoreByte(0x50, 0x11)
+	snap := b.Snapshot()
+	b.StoreByte(0x50, 0x22)
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if b.LoadByte(0x50) != 0x11 {
+		t.Fatal("restore did not bring back RAM")
+	}
+	if b.LoadByte(0x100) != 9 {
+		t.Fatal("restore lost ROM image")
+	}
+	if err := b.Restore([]byte{1}); err == nil {
+		t.Fatal("short snapshot accepted")
+	}
+}
+
+func TestCopyOut(t *testing.T) {
+	b := NewBus()
+	b.StoreByte(AddrMask, 1)
+	b.StoreByte(0, 2)
+	got := b.CopyOut(AddrMask, 2) // wraps
+	if !bytes.Equal(got, []byte{1, 2}) {
+		t.Fatalf("CopyOut = %v", got)
+	}
+}
+
+func TestROMWritesNeverAlterROMProperty(t *testing.T) {
+	b := NewBus()
+	img := make([]byte, 256)
+	for i := range img {
+		img[i] = byte(i)
+	}
+	if _, err := b.AddROM("rom", 0x2000, img); err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint32, v byte, fault bool) bool {
+		if fault {
+			b.SetROMWritePolicy(ROMWriteFault)
+		} else {
+			b.SetROMWritePolicy(ROMWriteIgnore)
+		}
+		addr := 0x2000 + off%256
+		b.StoreByte(addr, v)
+		b.PokeRAM(addr, v)
+		return b.LoadByte(addr) == byte(addr-0x2000)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

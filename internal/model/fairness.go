@@ -1,0 +1,162 @@
+package model
+
+// Labeled is a transition annotated with the acting process, for
+// fairness analysis.
+type Labeled[S comparable] struct {
+	To    S
+	Actor int
+}
+
+// CheckFairConvergence verifies convergence under weak fairness for a
+// nondeterministic system in which every actor's action is always
+// enabled (each actor has a successor from every state): from every
+// state, every weakly-fair execution reaches a legal state.
+//
+// A fair execution can avoid the legal set forever iff the illegal
+// sub-graph contains a strongly connected component whose internal
+// edges include steps by EVERY actor — inside such a component the
+// scheduler can cycle forever while serving each actor infinitely
+// often. If every illegal SCC lacks some actor's internal edges, weak
+// fairness eventually forces that actor's step, which leaves the
+// component; the SCC condensation is a DAG, so every fair execution
+// descends into the legal set.
+//
+// It returns a state of the offending component when one exists.
+func CheckFairConvergence[S comparable](states []S, next func(S) []Labeled[S], legal func(S) bool, actors int) (witness S, ok bool) {
+	// Index the illegal states.
+	idx := make(map[S]int, len(states))
+	var nodes []S
+	for _, s := range states {
+		if legal(s) {
+			continue
+		}
+		if _, dup := idx[s]; dup {
+			continue
+		}
+		idx[s] = len(nodes)
+		nodes = append(nodes, s)
+	}
+	n := len(nodes)
+	adj := make([][]Labeled[int], n)
+	for i, s := range nodes {
+		for _, e := range next(s) {
+			if j, ill := idx[e.To]; ill {
+				adj[i] = append(adj[i], Labeled[int]{To: j, Actor: e.Actor})
+			}
+		}
+	}
+
+	// Iterative Tarjan SCC.
+	const undef = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = undef
+		comp[i] = undef
+	}
+	var stack []int
+	counter := 0
+	ncomp := 0
+
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != undef {
+			continue
+		}
+		frames := []frame{{root, 0}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei].To
+				f.ei++
+				if index[w] == undef {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+
+	// For each SCC, check whether it is cyclic and whether its internal
+	// edges cover every actor.
+	type info struct {
+		size     int
+		hasCycle bool
+		actors   map[int]bool
+		sample   int
+	}
+	comps := make([]info, ncomp)
+	for i := range comps {
+		comps[i].actors = make(map[int]bool)
+		comps[i].sample = -1
+	}
+	for v := 0; v < n; v++ {
+		c := comp[v]
+		comps[c].size++
+		if comps[c].sample < 0 {
+			comps[c].sample = v
+		}
+		for _, e := range adj[v] {
+			if comp[e.To] == c {
+				comps[c].actors[e.Actor] = true
+				if e.To == v || comps[c].size > 0 {
+					comps[c].hasCycle = comps[c].hasCycle || e.To == v
+				}
+			}
+		}
+	}
+	// Multi-node SCCs are cyclic by definition.
+	for v := 0; v < n; v++ {
+		if comps[comp[v]].size > 1 {
+			comps[comp[v]].hasCycle = true
+		}
+	}
+	for _, c := range comps {
+		if !c.hasCycle {
+			continue
+		}
+		if len(c.actors) == actors {
+			return nodes[c.sample], false
+		}
+	}
+	var zero S
+	return zero, true
+}

@@ -1,0 +1,263 @@
+package model
+
+import "testing"
+
+// TestWatchdogRecurrenceExhaustive mechanically verifies the paper's
+// watchdog guarantee over the FULL register state space, corruption
+// included: "Starting from any state of the watchdog, a signal will be
+// triggered within the desired interval time and no premature signal
+// will be triggered thereafter."
+func TestWatchdogRecurrenceExhaustive(t *testing.T) {
+	const period = 32
+	states := WatchdogStates(period, period*4)
+	if err := CheckRecurrence(states, WatchdogNext(period), WatchdogFired(period),
+		period, period*6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNMICounterDeliveryExhaustive mechanically verifies the paper's
+// Lemma 3.1 argument at the hardware level: with the counter machinery
+// and the watchdog holding the pin, an NMI is delivered within
+// counter-max+1 ticks from EVERY machinery state.
+func TestNMICounterDeliveryExhaustive(t *testing.T) {
+	const max = 24
+	const regMax = max * 2 // the physical register's largest value
+	states := NMIStates(regMax)
+	// Force the worst case: pin held from the start.
+	for i := range states {
+		states[i].Pin = true
+	}
+	// First delivery is bounded by the largest value the register can
+	// hold after corruption (regMax), not by the reload value; the
+	// steady-state gap is max+1. CheckRecurrence verifies the worst of
+	// the two over the whole space.
+	if err := CheckRecurrence(states, NMINextCounter(max), NMIDeliveredCounter(max),
+		int(regMax)+1, int(max)*6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStockLatchCounterexample confirms the motivating hazard is real
+// in the model too: with the stock in-NMI latch and no iret, the state
+// space contains configurations from which delivery never happens.
+func TestStockLatchCounterexample(t *testing.T) {
+	states := NMIStates(4)
+	for i := range states {
+		states[i].Pin = true
+	}
+	err := CheckRecurrence(states, NMINextStock(), NMIDeliveredStock(), 8, 64)
+	if err == nil {
+		t.Fatal("stock latch should have a never-delivering state")
+	}
+}
+
+// TestRingConvergesCompositeAtomicity verifies Dijkstra's theorem for
+// the 3-member unidirectional ring under the adversarial central
+// daemon, exhaustively: closure of the one-privilege set and
+// convergence from all K^3 states.
+func TestRingConvergesCompositeAtomicity(t *testing.T) {
+	for _, k := range []uint8{3, 4, 8} {
+		sys := RingSystem(k, 3)
+		worst, err := sys.Verify(1 << 20)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		t.Logf("K=%d: worst-case convergence %d moves over %d states", k, worst, len(sys.States))
+	}
+}
+
+// TestRingBoundIsExactlyNMinusOne rediscovers Dijkstra's bound
+// mechanically: under the adversarial central daemon the n-member
+// K-state ring converges for K = n-1 and has a genuine illegal cycle
+// for K = n-2. (For n=3 even K=2 converges, so the negative half
+// starts at n=4.)
+func TestRingBoundIsExactlyNMinusOne(t *testing.T) {
+	for n := 3; n <= 6; n++ {
+		k := uint8(n - 1)
+		sys := RingSystem(k, n)
+		worst, err := sys.Verify(1 << 20)
+		if err != nil {
+			t.Fatalf("n=%d K=%d should converge: %v", n, k, err)
+		}
+		t.Logf("n=%d K=%d: worst-case convergence %d moves over %d states", n, k, worst, len(sys.States))
+	}
+	for n := 4; n <= 6; n++ {
+		k := uint8(n - 2)
+		sys := RingSystem(k, n)
+		if _, err := sys.Verify(1 << 20); err == nil {
+			t.Fatalf("n=%d K=%d should have an illegal cycle", n, k)
+		}
+	}
+}
+
+// TestRWRingConvergesUnderFairness verifies the ring AS THE SCHEDULER
+// ACTUALLY RUNS IT — read/write atomicity, stale registers and all —
+// under every weakly-fair interleaving, for the K used by the guest
+// workload's bound (K >= 2n-1 = 5).
+func TestRWRingConvergesUnderFairness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space")
+	}
+	const k = 5
+	sys := RWRingSystem(k)
+	closed := sys.GreatestClosedSubset(sys.Legal)
+	if len(closed) == 0 {
+		t.Fatal("no closed legitimate set exists")
+	}
+	legal := func(s RWRingState) bool { return closed[s] }
+	witness, ok := CheckFairConvergence(sys.States, RWRingLabeledNext(k), legal, 3)
+	if !ok {
+		t.Fatalf("fair illegal cycle reachable, e.g. from %+v", witness)
+	}
+	t.Logf("K=%d: %d states, closed legitimate set of %d states, all fair executions converge",
+		k, len(sys.States), len(closed))
+}
+
+// TestRWRingClosedSetNonTrivial sanity-checks the refinement: the
+// syntactic one-privilege candidate is strictly larger than its
+// greatest closed subset (stale registers can push an execution out),
+// which is exactly why the refinement step exists.
+func TestRWRingClosedSetNonTrivial(t *testing.T) {
+	const k = 3
+	sys := RWRingSystem(k)
+	candidate := 0
+	for _, s := range sys.States {
+		if sys.Legal(s) {
+			candidate++
+		}
+	}
+	closed := sys.GreatestClosedSubset(sys.Legal)
+	if len(closed) >= candidate {
+		t.Fatalf("refinement removed nothing: %d candidate, %d closed", candidate, len(closed))
+	}
+	if len(closed) == 0 {
+		t.Fatal("closed set empty at K=3")
+	}
+	t.Logf("K=%d: candidate %d -> closed %d", k, candidate, len(closed))
+}
+
+// TestClosureViolationDetected exercises the checker's failure path on
+// a deliberately broken system.
+func TestClosureViolationDetected(t *testing.T) {
+	sys := &System[int]{
+		States: []int{0, 1, 2},
+		Next:   func(s int) []int { return []int{(s + 1) % 3} },
+		Legal:  func(s int) bool { return s == 0 }, // 0 -> 1 leaves the set
+	}
+	if _, _, bad := sys.CheckClosure(); !bad {
+		t.Fatal("closure violation not detected")
+	}
+	if _, err := sys.Verify(10); err == nil {
+		t.Fatal("Verify should fail on closure violation")
+	}
+}
+
+// TestConvergenceCycleDetected exercises the illegal-cycle failure path.
+func TestConvergenceCycleDetected(t *testing.T) {
+	sys := &System[int]{
+		States: []int{0, 1, 2},
+		Next: func(s int) []int {
+			if s == 0 {
+				return []int{0}
+			}
+			return []int{3 - s} // 1 <-> 2 cycle, both illegal
+		},
+		Legal: func(s int) bool { return s == 0 },
+	}
+	if _, _, ok := sys.CheckConvergence(10); ok {
+		t.Fatal("illegal cycle not detected")
+	}
+}
+
+// TestConvergenceBoundExceeded exercises the bound-violation path.
+func TestConvergenceBoundExceeded(t *testing.T) {
+	// A chain 5 -> 4 -> ... -> 0 (legal): worst case 5 steps.
+	sys := &System[int]{
+		States: []int{0, 1, 2, 3, 4, 5},
+		Next: func(s int) []int {
+			if s == 0 {
+				return []int{0}
+			}
+			return []int{s - 1}
+		},
+		Legal: func(s int) bool { return s == 0 },
+	}
+	worst, _, ok := sys.CheckConvergence(3)
+	if ok || worst != 5 {
+		t.Fatalf("worst=%d ok=%v, want 5,false", worst, ok)
+	}
+	if worst, err := sys.Verify(5); err != nil || worst != 5 {
+		t.Fatalf("Verify: %d, %v", worst, err)
+	}
+}
+
+// TestFairConvergenceUnfairCycleTolerated verifies the fairness filter:
+// a cycle driven by a single actor (an unfair schedule) is not a
+// counterexample when another actor's step escapes.
+func TestFairConvergenceUnfairCycleTolerated(t *testing.T) {
+	// States 1,2 illegal; actor 0 cycles 1<->2, actor 1 escapes to 0.
+	next := func(s int) []Labeled[int] {
+		switch s {
+		case 1:
+			return []Labeled[int]{{To: 2, Actor: 0}, {To: 0, Actor: 1}}
+		case 2:
+			return []Labeled[int]{{To: 1, Actor: 0}, {To: 0, Actor: 1}}
+		}
+		return []Labeled[int]{{To: 0, Actor: 0}, {To: 0, Actor: 1}}
+	}
+	legal := func(s int) bool { return s == 0 }
+	if _, ok := CheckFairConvergence([]int{0, 1, 2}, next, legal, 2); !ok {
+		t.Fatal("unfair cycle should be tolerated under weak fairness")
+	}
+	// But a cycle served by both actors is a true counterexample.
+	next2 := func(s int) []Labeled[int] {
+		switch s {
+		case 1:
+			return []Labeled[int]{{To: 2, Actor: 0}, {To: 2, Actor: 1}}
+		case 2:
+			return []Labeled[int]{{To: 1, Actor: 0}, {To: 1, Actor: 1}}
+		}
+		return []Labeled[int]{{To: 0, Actor: 0}, {To: 0, Actor: 1}}
+	}
+	if _, ok := CheckFairConvergence([]int{0, 1, 2}, next2, legal, 2); ok {
+		t.Fatal("fair cycle not detected")
+	}
+}
+
+// TestCheckpointingIsNotSelfStabilizing proves E9's claim in the
+// 4-state abstraction: the poisoned pair {corrupt guest, corrupt
+// snapshot} is an absorbing illegal cycle, so rollback recovery does
+// not converge from every state.
+func TestCheckpointingIsNotSelfStabilizing(t *testing.T) {
+	sys := CheckpointSystem()
+	_, witness, ok := sys.CheckConvergence(16)
+	if ok {
+		t.Fatal("checkpointing should not converge from every state")
+	}
+	if witness.GuestOK {
+		t.Fatalf("witness must start corrupt, got %+v", witness)
+	}
+	// The checker's witness is even stronger than the absorbing
+	// poisoned pair: from {corrupt guest, CLEAN snapshot} one schedule
+	// (snapshot before rollback) still never recovers — E9's fault-
+	// phase dependence, derived formally.
+	poisoned := RecoveryState{GuestOK: false, SourceOK: false}
+	for _, n := range sys.Next(poisoned) {
+		if n.GuestOK || n.SourceOK {
+			t.Fatalf("poisoned pair escaped to %+v", n)
+		}
+	}
+	// The reinstall abstraction converges within exactly one watchdog
+	// period from every state: ROM cannot be poisoned and the reinstall
+	// cannot be withheld.
+	const period = 8
+	re := ReinstallSystem(period)
+	worst, err := re.Verify(period)
+	if err != nil {
+		t.Fatalf("reinstall abstraction: %v", err)
+	}
+	if worst != period {
+		t.Fatalf("worst-case convergence %d, want exactly the period %d", worst, period)
+	}
+}

@@ -1,0 +1,313 @@
+package model
+
+// Concrete models of the repository's stabilization-critical components
+// at the same abstraction level as the paper's proofs.
+
+// WatchdogStates enumerates the watchdog countdown register including
+// corrupted out-of-range values up to maxCorrupt.
+func WatchdogStates(period, maxCorrupt uint32) []uint32 {
+	var out []uint32
+	for c := uint32(0); c <= maxCorrupt; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// WatchdogNext is one tick of dev.Watchdog's register (clamp, fire at
+// zero, reload).
+func WatchdogNext(period uint32) func(uint32) uint32 {
+	return func(c uint32) uint32 {
+		if c >= period {
+			c = period - 1
+		}
+		if c == 0 {
+			return period - 1 // fire and reload
+		}
+		return c - 1
+	}
+}
+
+// WatchdogFired reports the firing states (the reload instant).
+func WatchdogFired(period uint32) func(uint32) bool {
+	return func(c uint32) bool { return c == period-1 }
+}
+
+// NMIState is the abstract processor NMI machinery: the paper's
+// countdown register plus the latched pin; the stock variant uses the
+// in-NMI latch instead.
+type NMIState struct {
+	Counter uint16
+	Pin     bool
+	InNMI   bool
+}
+
+// NMIStates enumerates the machinery's state space for a given counter
+// maximum (including corrupted counter values up to maxCorrupt).
+func NMIStates(maxCorrupt uint16) []NMIState {
+	var out []NMIState
+	for c := uint16(0); c <= maxCorrupt; c++ {
+		for _, pin := range []bool{false, true} {
+			for _, in := range []bool{false, true} {
+				out = append(out, NMIState{c, pin, in})
+			}
+		}
+	}
+	return out
+}
+
+// NMINextCounter is one tick of the paper's counter hardware with the
+// watchdog holding the pin (worst case for delivery): delivery when
+// counter is zero loads the maximum; otherwise the counter decrements.
+func NMINextCounter(max uint16) func(NMIState) NMIState {
+	return func(s NMIState) NMIState {
+		if s.Pin && s.Counter == 0 {
+			return NMIState{Counter: max, Pin: false, InNMI: s.InNMI}
+		}
+		next := s.Counter
+		if next > 0 {
+			next--
+		}
+		return NMIState{Counter: next, Pin: true, InNMI: s.InNMI}
+	}
+}
+
+// NMIDeliveredCounter marks delivery instants for the counter variant.
+func NMIDeliveredCounter(max uint16) func(NMIState) bool {
+	return func(s NMIState) bool { return s.Counter == max && !s.Pin }
+}
+
+// NMINextStock is the stock latch: delivery only when not in an NMI;
+// nothing in the model ever executes iret (the arbitrary-state hazard).
+func NMINextStock() func(NMIState) NMIState {
+	return func(s NMIState) NMIState {
+		if s.Pin && !s.InNMI {
+			return NMIState{Pin: false, InNMI: true}
+		}
+		return NMIState{Counter: s.Counter, Pin: true, InNMI: s.InNMI}
+	}
+}
+
+// NMIDeliveredStock marks delivery instants for the stock variant.
+func NMIDeliveredStock() func(NMIState) bool {
+	return func(s NMIState) bool { return s.InNMI && !s.Pin }
+}
+
+// RingState is Dijkstra's K-state ring under composite atomicity: the
+// shared variables of up to MaxRingMembers members (unused entries stay
+// zero so states remain comparable).
+type RingState [6]uint8
+
+// MaxRingMembers bounds the general ring model's size.
+const MaxRingMembers = 6
+
+// ringPrivilegesN returns the privileged members of the n-member
+// unidirectional ring (member 0 is the root).
+func ringPrivilegesN(x RingState, n int) []int {
+	var out []int
+	if x[0] == x[n-1] {
+		out = append(out, 0)
+	}
+	for i := 1; i < n; i++ {
+		if x[i] != x[i-1] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ringPrivileges is the 3-member case used by the guest-workload
+// analyses.
+func ringPrivileges(x RingState) []int { return ringPrivilegesN(x, 3) }
+
+// RingSystem builds the n-member composite-atomicity ring under the
+// adversarial central daemon: any privileged member may move. Legal
+// states have exactly one privilege (the classic legitimate set, which
+// is closed).
+func RingSystem(k uint8, n int) *System[RingState] {
+	if n < 2 || n > MaxRingMembers {
+		panic("model: ring size out of range")
+	}
+	var states []RingState
+	var enum func(i int, cur RingState)
+	enum = func(i int, cur RingState) {
+		if i == n {
+			states = append(states, cur)
+			return
+		}
+		for v := uint8(0); v < k; v++ {
+			cur[i] = v
+			enum(i+1, cur)
+		}
+	}
+	enum(0, RingState{})
+	next := func(s RingState) []RingState {
+		var out []RingState
+		for _, p := range ringPrivilegesN(s, n) {
+			ns := s
+			if p == 0 {
+				ns[0] = (s[n-1] + 1) % k
+			} else {
+				ns[p] = s[p-1]
+			}
+			out = append(out, ns)
+		}
+		// At least one member is always privileged in this ring, so
+		// next is total.
+		return out
+	}
+	legal := func(s RingState) bool { return len(ringPrivilegesN(s, n)) == 1 }
+	return &System[RingState]{States: states, Next: next, Legal: legal}
+}
+
+// RWRingState is the ring under read/write atomicity, as the scheduler
+// actually executes it: each member also carries the register holding
+// its (possibly stale) read of its predecessor, and a two-phase program
+// counter (0 = about to read, 1 = about to test-and-write).
+type RWRingState struct {
+	X   [3]uint8
+	Reg [3]uint8
+	PC  [3]uint8
+}
+
+// rwPrivileges returns the privileged members for the 3-member RW ring.
+func rwPrivileges(x [3]uint8) []int {
+	var rs RingState
+	copy(rs[:], x[:])
+	return ringPrivilegesN(rs, 3)
+}
+
+// rwRingStep performs member i's next atomic step: a read of its
+// predecessor into its register, or the test-and-write using the
+// (possibly stale) register.
+func rwRingStep(k uint8, s RWRingState, i int) RWRingState {
+	n := s
+	prev := (i + 2) % 3
+	if s.PC[i] == 0 { // read predecessor
+		n.Reg[i] = s.X[prev]
+		n.PC[i] = 1
+		return n
+	}
+	if i == 0 {
+		if s.Reg[0] == s.X[0] {
+			n.X[0] = (s.Reg[0] + 1) % k
+		}
+	} else {
+		if s.Reg[i] != s.X[i] {
+			n.X[i] = s.Reg[i]
+		}
+	}
+	n.PC[i] = 0
+	return n
+}
+
+// RWRingLabeledNext returns the actor-labeled transition function for
+// fairness analysis.
+func RWRingLabeledNext(k uint8) func(RWRingState) []Labeled[RWRingState] {
+	return func(s RWRingState) []Labeled[RWRingState] {
+		out := make([]Labeled[RWRingState], 0, 3)
+		for i := 0; i < 3; i++ {
+			out = append(out, Labeled[RWRingState]{To: rwRingStep(k, s, i), Actor: i})
+		}
+		return out
+	}
+}
+
+// RWRingSystem builds the read/write-atomicity ring under the
+// adversarial daemon: any member may take its next atomic step.
+func RWRingSystem(k uint8) *System[RWRingState] {
+	var states []RWRingState
+	var xs []uint8
+	for v := uint8(0); v < k; v++ {
+		xs = append(xs, v)
+	}
+	for _, a := range xs {
+		for _, b := range xs {
+			for _, c := range xs {
+				for _, ra := range xs {
+					for _, rb := range xs {
+						for _, rc := range xs {
+							for pc := 0; pc < 8; pc++ {
+								states = append(states, RWRingState{
+									X:   [3]uint8{a, b, c},
+									Reg: [3]uint8{ra, rb, rc},
+									PC:  [3]uint8{uint8(pc) & 1, uint8(pc>>1) & 1, uint8(pc>>2) & 1},
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	next := func(s RWRingState) []RWRingState {
+		out := make([]RWRingState, 0, 3)
+		for i := 0; i < 3; i++ {
+			out = append(out, rwRingStep(k, s, i))
+		}
+		return out
+	}
+	// The syntactic candidate ("one privilege in X") is NOT closed
+	// here — stale registers can re-create privileges — so callers
+	// refine it with GreatestClosedSubset.
+	legal := func(s RWRingState) bool { return len(rwPrivileges(s.X)) == 1 }
+	return &System[RWRingState]{States: states, Next: next, Legal: legal}
+}
+
+// RecoveryState abstracts the checkpoint-vs-reinstall comparison of
+// experiment E9 to its essence: the guest is either legal or corrupt,
+// and the recovery source (a snapshot, or ROM) is either pristine or
+// poisoned.
+type RecoveryState struct {
+	GuestOK bool
+	// SourceOK is the recovery source's integrity. For ROM it is
+	// immutable by construction; for a snapshot store it tracks
+	// whatever was last checkpointed.
+	SourceOK bool
+}
+
+// CheckpointSystem is rollback recovery after the last fault: the
+// scheduler (environment) chooses between taking a snapshot (source :=
+// guest) and rolling back (guest := source). Legal states have a legal
+// guest. The poisoned-pair state {bad, bad} is an absorbing illegal
+// cycle — the mechanical core of "checkpointing cannot withstand any
+// combination of transient faults".
+func CheckpointSystem() *System[RecoveryState] {
+	states := []RecoveryState{
+		{true, true}, {true, false}, {false, true}, {false, false},
+	}
+	next := func(s RecoveryState) []RecoveryState {
+		return []RecoveryState{
+			{GuestOK: s.GuestOK, SourceOK: s.GuestOK},   // snapshot
+			{GuestOK: s.SourceOK, SourceOK: s.SourceOK}, // rollback
+		}
+	}
+	legal := func(s RecoveryState) bool { return s.GuestOK }
+	return &System[RecoveryState]{States: states, Next: next, Legal: legal}
+}
+
+// ReinstallTick is the paper's design in the same abstraction: the
+// recovery source is ROM (never poisoned), and the watchdog FORCES a
+// reinstall every period ticks — recovery is not a scheduling choice
+// the adversary can withhold, which is exactly what distinguishes it
+// from the checkpoint system above.
+type ReinstallTick struct {
+	GuestOK bool
+	Counter uint32
+}
+
+// ReinstallSystem builds the deterministic watchdog-reinstall
+// abstraction with the given period.
+func ReinstallSystem(period uint32) *System[ReinstallTick] {
+	var states []ReinstallTick
+	for c := uint32(0); c < period; c++ {
+		states = append(states, ReinstallTick{true, c}, ReinstallTick{false, c})
+	}
+	next := func(s ReinstallTick) []ReinstallTick {
+		if s.Counter == 0 {
+			return []ReinstallTick{{GuestOK: true, Counter: period - 1}}
+		}
+		return []ReinstallTick{{GuestOK: s.GuestOK, Counter: s.Counter - 1}}
+	}
+	legal := func(s ReinstallTick) bool { return s.GuestOK }
+	return &System[ReinstallTick]{States: states, Next: next, Legal: legal}
+}

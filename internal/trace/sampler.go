@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"ssos/internal/machine"
+)
+
+// Range is a named linear-address range used for program-counter
+// accounting (e.g. one per scheduled process).
+type Range struct {
+	Name  string
+	Start uint32 // inclusive
+	End   uint32 // exclusive
+}
+
+// Contains reports whether addr falls in the range.
+func (r Range) Contains(addr uint32) bool { return addr >= r.Start && addr < r.End }
+
+// PCSampler counts, per instruction executed, which address range the
+// program counter was in. It implements the paper's fairness criterion
+// observably: "for every process there are infinite number of
+// configurations in which the program counter contains an address of
+// one of the process' instructions".
+type PCSampler struct {
+	Ranges []Range
+	Counts []uint64
+	Other  uint64 // instructions outside every range
+	Total  uint64
+}
+
+// NewPCSampler builds a sampler over the given ranges.
+func NewPCSampler(ranges ...Range) *PCSampler {
+	return &PCSampler{Ranges: ranges, Counts: make([]uint64, len(ranges))}
+}
+
+// Observe accounts one executed instruction at the given machine state.
+func (s *PCSampler) Observe(m *machine.Machine, ev machine.Event) {
+	if ev != machine.EventInstr {
+		return
+	}
+	addr := m.CPU.PC().Linear()
+	s.Total++
+	for i, r := range s.Ranges {
+		if r.Contains(addr) {
+			s.Counts[i]++
+			return
+		}
+	}
+	s.Other++
+}
+
+// Share returns the fraction of instructions executed inside range i.
+func (s *PCSampler) Share(i int) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Counts[i]) / float64(s.Total)
+}
+
+// MinShare returns the smallest per-range share (the starvation
+// indicator: fairness requires it to be bounded away from zero).
+func (s *PCSampler) MinShare() float64 {
+	min := 1.0
+	for i := range s.Ranges {
+		if sh := s.Share(i); sh < min {
+			min = sh
+		}
+	}
+	return min
+}
+
+// Reset clears all counts.
+func (s *PCSampler) Reset() {
+	for i := range s.Counts {
+		s.Counts[i] = 0
+	}
+	s.Other = 0
+	s.Total = 0
+}
+
+func (s *PCSampler) String() string {
+	var b strings.Builder
+	for i, r := range s.Ranges {
+		fmt.Fprintf(&b, "%s=%.3f ", r.Name, s.Share(i))
+	}
+	fmt.Fprintf(&b, "other=%.3f", float64(s.Other)/float64(max64(s.Total, 1)))
+	return b.String()
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EventCounter tallies step events, usable as an AfterStep hook
+// together with other observers via Multi.
+type EventCounter struct {
+	Counts [6]uint64
+}
+
+// Observe accounts one event.
+func (c *EventCounter) Observe(_ *machine.Machine, ev machine.Event) {
+	if int(ev) < len(c.Counts) {
+		c.Counts[ev]++
+	}
+}
+
+// Multi fans one AfterStep hook out to several observers.
+func Multi(obs ...func(*machine.Machine, machine.Event)) func(*machine.Machine, machine.Event) {
+	return func(m *machine.Machine, ev machine.Event) {
+		for _, o := range obs {
+			o(m, ev)
+		}
+	}
+}

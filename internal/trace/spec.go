@@ -1,0 +1,125 @@
+// Package trace implements execution monitoring for stabilization
+// experiments: legal-execution specifications over guest output
+// (heartbeats), convergence measurement, and program-counter sampling
+// for fairness accounting.
+//
+// The paper defines a *legal execution* as one where the OS "carries
+// its job exactly according to the operating system specifications",
+// and a *weak legal execution* as an infinite concatenation of
+// non-empty prefixes of legal executions (allowing repeated restarts).
+// Our guest OSes emit a monotonically incrementing heartbeat on an
+// output port as their observable specification; HeartbeatSpec encodes
+// both legality notions over that stream:
+//
+//   - strict legality: each heartbeat is the successor of the previous
+//     one, with bounded gaps between beats;
+//   - weak legality: additionally, the stream may restart from the
+//     initial value at any time (the paper's Theorem 3.4 system).
+package trace
+
+import (
+	"fmt"
+
+	"ssos/internal/dev"
+)
+
+// Violation is one departure from the specification.
+type Violation struct {
+	Step   uint64 // machine step at which the violation was observed
+	Reason string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("step %d: %s", v.Step, v.Reason)
+}
+
+// HeartbeatSpec is the legal-execution specification for the guest
+// heartbeat stream.
+type HeartbeatSpec struct {
+	// Start is the first value a freshly started guest emits.
+	Start uint16
+	// MaxGap is the largest allowed step distance between consecutive
+	// heartbeats (and from the last heartbeat to "now"). It encodes
+	// "the OS is actually running", not just "it was running once".
+	MaxGap uint64
+	// AllowRestart accepts a reset to Start at any point (weak
+	// legality, the paper's reinstall-and-restart designs).
+	AllowRestart bool
+}
+
+// Violations returns every specification violation in the write
+// stream, including a liveness violation if the stream has gone silent
+// before now.
+func (s HeartbeatSpec) Violations(writes []dev.PortWrite, now uint64) []Violation {
+	var out []Violation
+	for i := 1; i < len(writes); i++ {
+		prev, cur := writes[i-1], writes[i]
+		// A restart beat is legal regardless of the preceding gap: the
+		// silent reinstall period belongs to the weak legal execution
+		// (a new legal prefix begins with it).
+		if s.AllowRestart && cur.Value == s.Start {
+			continue
+		}
+		if cur.Step-prev.Step > s.MaxGap {
+			out = append(out, Violation{cur.Step, fmt.Sprintf(
+				"heartbeat gap %d exceeds %d", cur.Step-prev.Step, s.MaxGap)})
+		}
+		if cur.Value == prev.Value+1 {
+			continue
+		}
+		out = append(out, Violation{cur.Step, fmt.Sprintf(
+			"heartbeat %#x does not follow %#x", cur.Value, prev.Value)})
+	}
+	if len(writes) == 0 {
+		if now > s.MaxGap {
+			out = append(out, Violation{now, "no heartbeat ever observed"})
+		}
+		return out
+	}
+	if last := writes[len(writes)-1]; now-last.Step > s.MaxGap {
+		out = append(out, Violation{now, fmt.Sprintf(
+			"silent for %d steps (max %d)", now-last.Step, s.MaxGap)})
+	}
+	return out
+}
+
+// LegalSuffixStart returns the index of the first write of the maximal
+// legal suffix of the stream: every write from that index onward obeys
+// the spec, and no write from that index onward was itself a violation
+// (a beat that broke succession — e.g. a corrupted value — is excluded
+// from the suffix even if the transition out of it looks like a legal
+// restart). Returns 0 for an entirely legal stream and len(writes) if
+// the final write is itself a violation. Liveness against "now" is not
+// considered; combine with Violations for that.
+func (s HeartbeatSpec) LegalSuffixStart(writes []dev.PortWrite) int {
+	start := 0
+	for i := 1; i < len(writes); i++ {
+		prev, cur := writes[i-1], writes[i]
+		legal := (cur.Value == prev.Value+1 && cur.Step-prev.Step <= s.MaxGap) ||
+			(s.AllowRestart && cur.Value == s.Start)
+		if !legal {
+			start = i + 1
+		}
+	}
+	return start
+}
+
+// RecoveredAfter reports whether the stream contains, after faultStep,
+// a run of at least confirm consecutive legal heartbeats extending to
+// the end of the stream, and if so the step of the first heartbeat of
+// that run. This is the experiments' convergence detector: the system
+// has stabilized when its observable behaviour is legal from some
+// point onward.
+func (s HeartbeatSpec) RecoveredAfter(writes []dev.PortWrite, faultStep uint64, confirm int) (uint64, bool) {
+	// The recovery point is the start of the maximal legal suffix, or
+	// the first heartbeat after the fault if the fault did not disturb
+	// legality at all.
+	idx := s.LegalSuffixStart(writes)
+	for idx < len(writes) && writes[idx].Step < faultStep {
+		idx++
+	}
+	if len(writes)-idx < confirm {
+		return 0, false
+	}
+	return writes[idx].Step, true
+}
