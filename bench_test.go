@@ -107,6 +107,12 @@ func BenchmarkE13Tickful(b *testing.B) {
 	}
 }
 
+func BenchmarkE14Cluster(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.E14ClusterAvailability(benchOptions(i))
+	}
+}
+
 // Micro-benchmarks: the substrate costs underlying every experiment.
 
 // BenchmarkMachineStep measures raw simulator throughput on the guest

@@ -1,5 +1,5 @@
-// Command ssos-bench regenerates every reproduction experiment (E1-E8
-// and figures F1-F5 from DESIGN.md) and prints the tables and ASCII
+// Command ssos-bench regenerates every reproduction experiment (E1-E14
+// and figures F1-F7 from DESIGN.md) and prints the tables and ASCII
 // figures. With -markdown it emits the experiment section consumed by
 // EXPERIMENTS.md; with -csv DIR it additionally writes each figure's
 // data as CSV.
@@ -110,6 +110,10 @@ func runOne(id string, o expt.Options) *expt.Report {
 		r.Tables = append(r.Tables, expt.E12AdaptiveWatchdog(o))
 	case "E13":
 		r.Tables = append(r.Tables, expt.E13TickfulSilentFaults(o))
+	case "E14", "F7":
+		t, f := expt.E14ClusterAvailability(o)
+		r.Tables = append(r.Tables, t)
+		r.Series = append(r.Series, f)
 	default:
 		return nil
 	}

@@ -1,0 +1,78 @@
+// Command ssos-cluster runs a replicated self-stabilizing fleet: N
+// core.System replicas in lockstep epochs on a worker pool, a majority
+// voter over their per-epoch outputs (heartbeat legality plus a digest
+// of console output and OS-state RAM), and a reconfigurator that
+// evicts divergent or halted replicas, reinstalls them from the ROM
+// image and rejoins them to the quorum by state transfer — the paper's
+// Section-3 remedy applied at replica rather than process level.
+//
+// Usage:
+//
+//	ssos-cluster -replicas 5 -approach reinstall -faults os-blast -epochs 30 -seed 1
+//
+// Approaches: baseline, reinstall, continue, monitor. Faults: none,
+// bitflip, os-blast, cpu-blast, blast. By default every third epoch
+// strikes a random minority of replicas mid-epoch; -strike-prob
+// switches to independent per-replica strikes with that probability.
+// The run prints per-epoch vote tallies, every eviction/rejoin event,
+// and a final cluster-availability summary; output is byte-identical
+// for a fixed flag set, regardless of how many cores execute it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ssos/internal/cluster"
+	"ssos/internal/core"
+)
+
+var approaches = map[string]core.Approach{
+	"baseline":  core.ApproachBaseline,
+	"reinstall": core.ApproachReinstall,
+	"continue":  core.ApproachContinue,
+	"monitor":   core.ApproachMonitor,
+}
+
+func main() {
+	replicas := flag.Int("replicas", cluster.DefaultReplicas, "fleet size N (voting quorum is N/2+1)")
+	approach := flag.String("approach", "reinstall", "per-replica system design: baseline|reinstall|continue|monitor")
+	faults := flag.String("faults", "none", "strike fault class: none|bitflip|os-blast|cpu-blast|blast")
+	epochs := flag.Int("epochs", 30, "number of voting epochs to run")
+	seed := flag.Int64("seed", 1, "seed for the strike schedule and all replica injectors")
+	epochSteps := flag.Int("epoch-steps", cluster.DefaultEpochSteps, "machine steps per epoch")
+	strikeEvery := flag.Int("strike-every", cluster.DefaultStrikeEvery, "strike a random minority every k-th epoch")
+	strikeProb := flag.Float64("strike-prob", 0, "strike each replica with this probability per epoch (overrides -strike-every)")
+	flag.Parse()
+
+	a, ok := approaches[*approach]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ssos-cluster: unknown approach %q\n", *approach)
+		os.Exit(2)
+	}
+	mode, err := cluster.ParseFaultMode(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssos-cluster:", err)
+		os.Exit(2)
+	}
+
+	c, err := cluster.New(cluster.Config{
+		Replicas:    *replicas,
+		Approach:    a,
+		EpochSteps:  *epochSteps,
+		Seed:        *seed,
+		Faults:      mode,
+		StrikeEvery: *strikeEvery,
+		StrikeProb:  *strikeProb,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssos-cluster:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("cluster: %d x %v replicas, quorum %d, epoch %d steps, faults %v, seed %d\n",
+		c.Summary().Replicas, a, c.Quorum(), *epochSteps, mode, *seed)
+	c.Run(*epochs)
+	fmt.Print(c.RenderLog())
+}

@@ -7,8 +7,9 @@
 //	ssos-run -approach reinstall -steps 500000 -fault os-blast -at 100000
 //
 // Approaches: baseline, reinstall, continue, monitor, primitive,
-// scheduler. Faults: none, bitflip, os-blast, cpu-blast, pc, all-ram,
-// table-blast (scheduler), proc-code (scheduler).
+// scheduler, checkpoint, adaptive. Faults: none, bitflip, os-blast,
+// cpu-blast, pc, all-ram, table-blast (scheduler), proc-code
+// (scheduler).
 package main
 
 import (
@@ -35,7 +36,7 @@ var approaches = map[string]core.Approach{
 }
 
 func main() {
-	approach := flag.String("approach", "reinstall", "system design: baseline|reinstall|continue|monitor|primitive|scheduler|checkpoint")
+	approach := flag.String("approach", "reinstall", "system design: baseline|reinstall|continue|monitor|primitive|scheduler|checkpoint|adaptive")
 	steps := flag.Int("steps", 500000, "total steps to run")
 	period := flag.Uint("period", 0, "watchdog period / scheduling quantum (0 = default)")
 	faultKind := flag.String("fault", "none", "fault to inject: none|bitflip|os-blast|cpu-blast|pc|all-ram|table-blast|proc-code")

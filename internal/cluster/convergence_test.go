@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"testing"
+
+	"ssos/internal/core"
+)
+
+// A minority of replicas blasted mid-epoch (CPU soft state AND all RAM
+// randomized) never flips the majority verdict: the quorum masks the
+// fault in the same epoch it happens, and the victims rejoin by the
+// next one.
+func TestMinorityBlastNeverFlipsVerdict(t *testing.T) {
+	var sched []Strike
+	// Strike a different minority pair (2 of 5, quorum is 3) on every
+	// second epoch, at varying offsets.
+	pairs := [][2]int{{0, 1}, {2, 3}, {4, 0}, {1, 3}}
+	for i, p := range pairs {
+		e := 1 + 2*i
+		sched = append(sched,
+			Strike{Epoch: e, Replica: p[0], Offset: 9000 + i*7000, Mode: ModeBlast},
+			Strike{Epoch: e, Replica: p[1], Offset: 15000 + i*9000, Mode: ModeBlast},
+		)
+	}
+	c := MustNew(Config{Replicas: 5, Approach: core.ApproachReinstall, Seed: 5, Schedule: sched})
+	c.Run(10)
+	if got := len(c.Stats); got != 10 {
+		t.Fatalf("ran %d epochs", got)
+	}
+	for _, st := range c.Stats {
+		if !st.Quorum || !st.Legal {
+			t.Errorf("epoch %d: quorum %v legal %v (agree %d) — minority blast flipped the verdict",
+				st.Epoch, st.Quorum, st.Legal, st.Agree)
+		}
+	}
+	if c.Summary().Evictions == 0 {
+		t.Error("blasted replicas were never evicted")
+	}
+}
+
+// Blast EVERY replica: the cluster loses its quorum, and the
+// reconfigurator must restore a full healthy quorum within a bounded
+// number of epochs — either by rebuilding the fleet around a
+// self-recovered survivor or by a fleet-wide reinstall from ROM.
+func TestAllBlastRestoresQuorumWithinBound(t *testing.T) {
+	const n, strikeEpoch, bound = 5, 2, 3
+	var sched []Strike
+	for i := 0; i < n; i++ {
+		sched = append(sched, Strike{Epoch: strikeEpoch, Replica: i, Offset: 20000 + i*1000, Mode: ModeBlast})
+	}
+	c := MustNew(Config{Replicas: n, Approach: core.ApproachReinstall, Seed: 13, Schedule: sched})
+	c.Run(strikeEpoch + bound + 4)
+
+	recovered := -1
+	for _, st := range c.Stats[strikeEpoch+1:] {
+		if st.Agree == n && st.Quorum && st.Legal {
+			recovered = st.Epoch
+			break
+		}
+	}
+	if recovered < 0 {
+		t.Fatalf("no full healthy quorum after the blast:\n%s", c.RenderLog())
+	}
+	if recovered > strikeEpoch+bound {
+		t.Fatalf("quorum restored at epoch %d, want within %d epochs of the blast:\n%s",
+			recovered, bound, c.RenderLog())
+	}
+	// Once restored, the fleet stays in full legal agreement.
+	for _, st := range c.Stats[recovered:] {
+		if st.Agree != n || !st.Legal {
+			t.Errorf("epoch %d after recovery: agree %d legal %v", st.Epoch, st.Agree, st.Legal)
+		}
+	}
+}
+
+// The catastrophic fresh-boot path in isolation: force every replica
+// into a crashed state on a baseline fleet (no per-node stabilizer at
+// all) and check the fleet-wide from-ROM reinstall brings back a full
+// legal quorum.
+func TestFreshBootAllRecoversBaselineFleet(t *testing.T) {
+	const n = 3
+	var sched []Strike
+	for i := 0; i < n; i++ {
+		// Early-epoch blasts leave long silent tails: every replica's
+		// epoch output is illegal, so no donor exists.
+		sched = append(sched, Strike{Epoch: 1, Replica: i, Offset: 1000 + i*100, Mode: ModeBlast})
+	}
+	c := MustNew(Config{Replicas: n, Approach: core.ApproachBaseline, Seed: 21, Schedule: sched})
+	c.Run(5)
+	if c.Summary().FreshBoots == 0 {
+		t.Fatalf("expected a fleet-wide fresh boot:\n%s", c.RenderLog())
+	}
+	for _, st := range c.Stats[2:] {
+		if st.Agree != n || !st.Legal {
+			t.Errorf("epoch %d after fresh boot: agree %d legal %v", st.Epoch, st.Agree, st.Legal)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"runtime"
+	"testing"
+
+	"ssos/internal/core"
+)
+
+// Same seed, same replica count, same fault schedule: byte-identical
+// vote tallies and eviction logs, run after run. Replicas execute in
+// parallel across GOMAXPROCS, so this pins down that goroutine
+// scheduling cannot leak into results — the same guarantee the shared
+// pool documents for the experiment harness.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := Config{
+		Replicas:   5,
+		Approach:   core.ApproachReinstall,
+		Faults:     ModeOSBlast,
+		StrikeProb: 0.3,
+		Seed:       123,
+	}
+	run := func() string {
+		c := MustNew(cfg)
+		c.Run(8)
+		return c.RenderLog()
+	}
+	first := run()
+	if second := run(); second != first {
+		t.Fatalf("two runs with identical configuration diverged:\n--- first\n%s--- second\n%s", first, second)
+	}
+}
+
+// Scheduling independence, the hard way: the same configuration run on
+// one worker and on all workers must agree byte for byte.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := Config{
+		Replicas: 7,
+		Approach: core.ApproachMonitor,
+		Faults:   ModeBlast,
+		Seed:     99,
+	}
+	run := func() string {
+		c := MustNew(cfg)
+		c.Run(6)
+		return c.RenderLog()
+	}
+	parallel := run()
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := run()
+	runtime.GOMAXPROCS(prev)
+
+	if serial != parallel {
+		t.Fatalf("worker count leaked into results:\n--- parallel\n%s--- serial\n%s", parallel, serial)
+	}
+}

@@ -1,0 +1,52 @@
+package cluster
+
+import "ssos/internal/mem"
+
+// digest is an FNV-1a 64-bit accumulator over machine state. A plain
+// hand-rolled accumulator (rather than hash/fnv) keeps the per-byte
+// path allocation-free: the voter hashes ~8 KiB of RAM per replica per
+// epoch, inside the worker pool's hot loop.
+type digest uint64
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func newDigest() digest { return fnvOffset }
+
+func (d *digest) byte(b byte) {
+	*d = (*d ^ digest(b)) * fnvPrime
+}
+
+func (d *digest) bool(b bool) {
+	if b {
+		d.byte(1)
+	} else {
+		d.byte(0)
+	}
+}
+
+func (d *digest) u16(v uint16) {
+	d.byte(byte(v))
+	d.byte(byte(v >> 8))
+}
+
+func (d *digest) u32(v uint32) {
+	d.u16(uint16(v))
+	d.u16(uint16(v >> 16))
+}
+
+func (d *digest) u64(v uint64) {
+	d.u32(uint32(v))
+	d.u32(uint32(v >> 32))
+}
+
+// region folds a memory range into the digest.
+func (d *digest) region(bus *mem.Bus, start, size uint32) {
+	for i := uint32(0); i < size; i++ {
+		d.byte(bus.Peek(start + i))
+	}
+}
+
+func (d *digest) sum() uint64 { return uint64(*d) }

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"ssos/internal/fault"
+	"ssos/internal/guest"
+	"ssos/internal/mem"
+)
+
+// FaultMode selects the fault class a strike injects into a replica.
+type FaultMode uint8
+
+// Fault modes, mirroring the fault classes of cmd/ssos-run.
+const (
+	// ModeNone disables strikes.
+	ModeNone FaultMode = iota
+	// ModeBitflip flips one uniformly chosen RAM bit.
+	ModeBitflip
+	// ModeOSBlast randomizes the whole guest OS image in RAM.
+	ModeOSBlast
+	// ModeCPUBlast randomizes the entire processor soft state.
+	ModeCPUBlast
+	// ModeBlast randomizes CPU soft state AND all RAM — the paper's
+	// "started in any possible state", per replica.
+	ModeBlast
+)
+
+var modeNames = map[FaultMode]string{
+	ModeNone:     "none",
+	ModeBitflip:  "bitflip",
+	ModeOSBlast:  "os-blast",
+	ModeCPUBlast: "cpu-blast",
+	ModeBlast:    "blast",
+}
+
+func (m FaultMode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// ParseFaultMode resolves a fault-mode name (the -faults CLI values).
+func ParseFaultMode(name string) (FaultMode, error) {
+	for m, s := range modeNames {
+		if s == name {
+			return m, nil
+		}
+	}
+	return ModeNone, fmt.Errorf("cluster: unknown fault mode %q", name)
+}
+
+// apply injects the mode's fault through the replica's injector.
+func (m FaultMode) apply(in *fault.Injector) {
+	switch m {
+	case ModeBitflip:
+		in.FlipRAMBit()
+	case ModeOSBlast:
+		in.RandomizeRegion(mem.Region{Name: "os", Start: uint32(guest.OSSeg) << 4, Size: guest.ImageSize})
+	case ModeCPUBlast:
+		in.BlastCPU()
+	case ModeBlast:
+		in.BlastCPU()
+		in.BlastRAM()
+	}
+}
+
+// Strike is one scheduled fault injection: replica r is hit with the
+// mode's fault at the given step offset into the epoch.
+type Strike struct {
+	Epoch   int
+	Replica int
+	Offset  int
+	Mode    FaultMode
+}
+
+func (s Strike) String() string {
+	return fmt.Sprintf("replica %d %v @+%d", s.Replica, s.Mode, s.Offset)
+}
+
+// strikesFor produces this epoch's strikes, sorted by replica then
+// offset. With an explicit Schedule it filters; otherwise it draws from
+// the coordinator rng — probabilistically per replica when StrikeProb
+// is set, else a random minority every StrikeEvery-th epoch. Either
+// way the sequence is a pure function of the cluster seed.
+func (c *Cluster) strikesFor(epoch int) []Strike {
+	var out []Strike
+	switch {
+	case c.cfg.Schedule != nil:
+		for _, s := range c.cfg.Schedule {
+			if s.Epoch == epoch {
+				out = append(out, s)
+			}
+		}
+	case c.cfg.Faults == ModeNone:
+		return nil
+	case c.cfg.StrikeProb > 0:
+		for i := range c.replicas {
+			if c.rng.Float64() < c.cfg.StrikeProb {
+				out = append(out, Strike{
+					Epoch:   epoch,
+					Replica: i,
+					Offset:  c.rng.Intn(c.cfg.EpochSteps),
+					Mode:    c.cfg.Faults,
+				})
+			}
+		}
+	default:
+		if (epoch+1)%c.cfg.StrikeEvery != 0 {
+			return nil
+		}
+		minority := (len(c.replicas) - 1) / 2
+		perm := c.rng.Perm(len(c.replicas))
+		for _, i := range perm[:minority] {
+			out = append(out, Strike{
+				Epoch:   epoch,
+				Replica: i,
+				Offset:  c.rng.Intn(c.cfg.EpochSteps),
+				Mode:    c.cfg.Faults,
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Replica != out[b].Replica {
+			return out[a].Replica < out[b].Replica
+		}
+		return out[a].Offset < out[b].Offset
+	})
+	return out
+}

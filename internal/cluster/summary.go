@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary aggregates a run's cluster-level outcome.
+type Summary struct {
+	Replicas int
+	Epochs   int
+	// LegalEpochs counts epochs whose majority verdict was legal.
+	LegalEpochs int
+	// Availability is LegalEpochs/Epochs (0 for an empty run).
+	Availability float64
+	// Evictions counts replica evict-reinstall-rejoin cycles;
+	// FreshBoots counts cluster-wide from-ROM restarts (regime 3).
+	Evictions  int
+	FreshBoots int
+	// PerReplica counts evictions per replica id.
+	PerReplica []int
+}
+
+// Summary computes the run summary so far.
+func (c *Cluster) Summary() Summary {
+	s := Summary{
+		Replicas:   len(c.replicas),
+		Epochs:     len(c.Stats),
+		Evictions:  c.evictions,
+		FreshBoots: c.freshBoots,
+		PerReplica: make([]int, len(c.replicas)),
+	}
+	for _, st := range c.Stats {
+		if st.Legal {
+			s.LegalEpochs++
+		}
+	}
+	if s.Epochs > 0 {
+		s.Availability = float64(s.LegalEpochs) / float64(s.Epochs)
+	}
+	for _, e := range c.Events {
+		s.PerReplica[e.Replica]++
+	}
+	return s
+}
+
+// RenderLog renders the complete run — per-epoch strike lines, vote
+// tallies, reconfiguration events and the final summary — as
+// deterministic text. The CLI prints it; the determinism test compares
+// it byte for byte across runs.
+func (c *Cluster) RenderLog() string {
+	var b strings.Builder
+	n := len(c.replicas)
+	for _, st := range c.Stats {
+		for _, s := range st.Strikes {
+			fmt.Fprintf(&b, "epoch %3d: strike %v\n", st.Epoch, s)
+		}
+		verdict := "ILLEGAL"
+		if st.Legal {
+			verdict = "legal"
+		}
+		quorum := ""
+		if !st.Quorum {
+			quorum = "  NO QUORUM"
+		}
+		fmt.Fprintf(&b, "epoch %3d: agree %d/%d  verdict %s  digest %016x%s\n",
+			st.Epoch, st.Agree, n, verdict, st.Digest, quorum)
+		for _, e := range c.Events {
+			if e.Epoch == st.Epoch {
+				fmt.Fprintf(&b, "epoch %3d: %s\n", st.Epoch, strings.TrimPrefix(e.String(),
+					fmt.Sprintf("epoch %d: ", e.Epoch)))
+			}
+		}
+	}
+	s := c.Summary()
+	fmt.Fprintf(&b, "cluster: %d replicas, %d epochs, %d legal (availability %.3f)\n",
+		s.Replicas, s.Epochs, s.LegalEpochs, s.Availability)
+	fmt.Fprintf(&b, "cluster: %d evictions, %d fleet-wide fresh boots, per replica %v\n",
+		s.Evictions, s.FreshBoots, s.PerReplica)
+	return b.String()
+}

@@ -310,3 +310,27 @@ func TestE13SilentFaultsNeedNonMaskableTrigger(t *testing.T) {
 		}
 	}
 }
+
+func TestE14VotingScalesAvailability(t *testing.T) {
+	tab, fig := E14ClusterAvailability(quick)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// Fault-free column is fully available at every fleet size.
+	for _, row := range tab.Rows {
+		if got := cellFloat(t, row[2]); got != 1 {
+			t.Errorf("N=%s fault-free availability %v, want 1", row[0], got)
+		}
+	}
+	// At the harshest fault rate, a real fleet (N>=5) must beat the
+	// single node: voting masks what one machine can only repair late.
+	single := cellFloat(t, tab.Rows[0][len(tab.Rows[0])-2])
+	for _, row := range tab.Rows[2:] {
+		if got := cellFloat(t, row[len(row)-2]); got < single {
+			t.Errorf("N=%s availability %v below single-node %v", row[0], got, single)
+		}
+	}
+	if fig.ID != "F7" || len(fig.Lines) != 4 {
+		t.Fatalf("figure: %+v", fig)
+	}
+}

@@ -1,9 +1,6 @@
 package expt
 
-import (
-	"runtime"
-	"sync"
-)
+import "ssos/internal/pool"
 
 // forEachTrial runs n independent trials across worker goroutines.
 // Each trial builds its own System (systems share no mutable state;
@@ -13,36 +10,8 @@ import (
 //
 // Determinism is preserved: trial i always receives index i, and every
 // experiment derives its seeds and fault schedules from the index, so
-// the table contents do not depend on scheduling.
+// the table contents do not depend on scheduling. The fan-out itself
+// lives in internal/pool, shared with the cluster epoch loop.
 func forEachTrial(n int, run func(i int) interface{}, collect func(i int, result interface{})) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			collect(i, run(i))
-		}
-		return
-	}
-	results := make([]interface{}, n)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i] = run(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for i := 0; i < n; i++ {
-		collect(i, results[i])
-	}
+	pool.ForEach(n, run, collect)
 }

@@ -1,4 +1,4 @@
-// Package expt implements the reproduction experiments E1-E13 defined
+// Package expt implements the reproduction experiments E1-E14 defined
 // in DESIGN.md: each one exercises a claim of the paper on the
 // simulated systems from internal/core and reports a table (and, where
 // the claim is a trend, a data series). cmd/ssos-bench runs them all
@@ -15,8 +15,9 @@
 // the protection ablation (E7), scheduling overhead (E8), the
 // checkpoint/rollback comparator (E9), the token-ring composition
 // (E10), the memory-protection ablation (E11), the adaptive-watchdog
-// comparator (E12), and the silent wake-path faults of the
-// interrupt-driven guest (E13).
+// comparator (E12), the silent wake-path faults of the interrupt-driven
+// guest (E13), and the replicated-cluster availability scaling of
+// internal/cluster (E14).
 package expt
 
 import (
@@ -341,7 +342,8 @@ func All(o Options) *Report {
 	t11 := E11Protection(o)
 	t12 := E12AdaptiveWatchdog(o)
 	t13 := E13TickfulSilentFaults(o)
-	r.Tables = append(r.Tables, t1, t2, t3, t4, t5, t6, t7, t8, t9, t10, t11, t12, t13)
-	r.Series = append(r.Series, f1, f2, f3, E6FairnessFigure(o), f5, f6)
+	t14, f7 := E14ClusterAvailability(o)
+	r.Tables = append(r.Tables, t1, t2, t3, t4, t5, t6, t7, t8, t9, t10, t11, t12, t13, t14)
+	r.Series = append(r.Series, f1, f2, f3, E6FairnessFigure(o), f5, f6, f7)
 	return r
 }

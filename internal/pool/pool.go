@@ -1,0 +1,69 @@
+// Package pool provides the worker pool shared by the experiment
+// harness (internal/expt) and the cluster epoch loop (internal/cluster):
+// n independent jobs fanned out across GOMAXPROCS goroutines with
+// deterministic result collection.
+//
+// Determinism contract: job i always receives index i, results are
+// handed to collect in index order after all jobs finish, and jobs must
+// not share mutable state. Under that contract the observable outcome
+// is independent of goroutine scheduling, which is what lets the
+// experiment tables and the cluster vote tallies be byte-identical
+// across runs.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs n independent jobs across worker goroutines and then
+// calls collect once per job, in index order, on the caller's
+// goroutine. run must be safe to call concurrently for distinct
+// indices; collect (which may be nil) is never called concurrently.
+func ForEach(n int, run func(i int) interface{}, collect func(i int, result interface{})) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			r := run(i)
+			if collect != nil {
+				collect(i, r)
+			}
+		}
+		return
+	}
+	results := make([]interface{}, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = run(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if collect == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		collect(i, results[i])
+	}
+}
+
+// Run is ForEach for jobs without results: it executes fn for every
+// index in [0, n) across the worker pool and returns when all are done.
+func Run(n int, fn func(i int)) {
+	ForEach(n, func(i int) interface{} {
+		fn(i)
+		return nil
+	}, nil)
+}
