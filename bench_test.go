@@ -1,6 +1,8 @@
 package ssos
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"ssos/internal/asm"
@@ -10,6 +12,7 @@ import (
 	"ssos/internal/guest"
 	"ssos/internal/isa"
 	"ssos/internal/mem"
+	"ssos/internal/obs"
 )
 
 // Experiment benchmarks: one per DESIGN.md experiment, running the
@@ -20,6 +23,24 @@ func benchOptions(i int) expt.Options {
 	return expt.Options{Quick: true, Seed: int64(i)}
 }
 
+// writeFigure saves a benchmark's figure data as machine-readable JSON
+// under benchdata/ (the bench- prefix keeps these quick-mode results
+// distinct from cmd/ssos-bench's full-run exports). CI uploads the
+// directory as a workflow artifact.
+func writeFigure(b *testing.B, s *expt.Series) {
+	b.Helper()
+	if err := os.MkdirAll("benchdata", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	j, err := s.JSON()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join("benchdata", "bench-"+s.ID+".json"), j, 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
 func BenchmarkE1RAMCorruption(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		expt.E1RAMCorruption(benchOptions(i))
@@ -27,15 +48,19 @@ func BenchmarkE1RAMCorruption(b *testing.B) {
 }
 
 func BenchmarkE2ArbitraryState(b *testing.B) {
+	var f *expt.Series
 	for i := 0; i < b.N; i++ {
-		expt.E2ArbitraryState(benchOptions(i))
+		_, f = expt.E2ArbitraryState(benchOptions(i))
 	}
+	writeFigure(b, f)
 }
 
 func BenchmarkE3Baseline(b *testing.B) {
+	var f *expt.Series
 	for i := 0; i < b.N; i++ {
-		expt.E3FaultRateComparison(benchOptions(i))
+		_, f = expt.E3FaultRateComparison(benchOptions(i))
 	}
+	writeFigure(b, f)
 }
 
 func BenchmarkE4MonitorRepair(b *testing.B) {
@@ -45,15 +70,19 @@ func BenchmarkE4MonitorRepair(b *testing.B) {
 }
 
 func BenchmarkE5PeriodSweep(b *testing.B) {
+	var f *expt.Series
 	for i := 0; i < b.N; i++ {
-		expt.E5PeriodSweep(benchOptions(i))
+		_, f = expt.E5PeriodSweep(benchOptions(i))
 	}
+	writeFigure(b, f)
 }
 
 func BenchmarkE6Primitive(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		expt.E6Primitive(benchOptions(i))
 	}
+	b.StopTimer()
+	writeFigure(b, expt.E6FairnessFigure(benchOptions(0)))
 }
 
 func BenchmarkE7Scheduler(b *testing.B) {
@@ -66,15 +95,19 @@ func BenchmarkE7Scheduler(b *testing.B) {
 }
 
 func BenchmarkE8Overhead(b *testing.B) {
+	var f *expt.Series
 	for i := 0; i < b.N; i++ {
-		expt.E8Overhead(benchOptions(i))
+		_, f = expt.E8Overhead(benchOptions(i))
 	}
+	writeFigure(b, f)
 }
 
 func BenchmarkE9Checkpoint(b *testing.B) {
+	var f *expt.Series
 	for i := 0; i < b.N; i++ {
-		expt.E9Checkpoint(benchOptions(i))
+		_, f = expt.E9Checkpoint(benchOptions(i))
 	}
+	writeFigure(b, f)
 }
 
 func BenchmarkE10TokenRing(b *testing.B) {
@@ -108,9 +141,11 @@ func BenchmarkE13Tickful(b *testing.B) {
 }
 
 func BenchmarkE14Cluster(b *testing.B) {
+	var f *expt.Series
 	for i := 0; i < b.N; i++ {
-		expt.E14ClusterAvailability(benchOptions(i))
+		_, f = expt.E14ClusterAvailability(benchOptions(i))
 	}
+	writeFigure(b, f)
 }
 
 // Micro-benchmarks: the substrate costs underlying every experiment.
@@ -119,6 +154,18 @@ func BenchmarkE14Cluster(b *testing.B) {
 // kernel's main loop (steps per second drive every experiment above).
 func BenchmarkMachineStep(b *testing.B) {
 	s := core.MustNew(core.Config{Approach: core.ApproachBaseline})
+	s.Run(10000) // past boot
+	b.ResetTimer()
+	s.Run(b.N)
+}
+
+// BenchmarkMachineStepProbed is BenchmarkMachineStep with the
+// observability collector attached. The probe fires only on interrupt,
+// exception and reset delivery — never per instruction — so this must
+// stay within noise of the uninstrumented run.
+func BenchmarkMachineStepProbed(b *testing.B) {
+	s := core.MustNew(core.Config{Approach: core.ApproachBaseline})
+	s.Instrument(obs.NewCollector())
 	s.Run(10000) // past boot
 	b.ResetTimer()
 	s.Run(b.N)

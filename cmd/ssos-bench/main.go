@@ -2,11 +2,11 @@
 // and figures F1-F7 from DESIGN.md) and prints the tables and ASCII
 // figures. With -markdown it emits the experiment section consumed by
 // EXPERIMENTS.md; with -csv DIR it additionally writes each figure's
-// data as CSV.
+// data as CSV and as machine-readable JSON alongside.
 //
 // Usage:
 //
-//	ssos-bench [-quick] [-trials N] [-seed S] [-markdown] [-csv DIR] [-only E5]
+//	ssos-bench [-quick] [-trials N] [-seed S] [-markdown] [-csv DIR] [-only E5] [-workers N]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"ssos/internal/expt"
+	"ssos/internal/pool"
 )
 
 func main() {
@@ -24,9 +25,11 @@ func main() {
 	trials := flag.Int("trials", 0, "override trials per experiment cell")
 	seed := flag.Int64("seed", 1, "base random seed")
 	markdown := flag.Bool("markdown", false, "emit markdown tables instead of ASCII")
-	csvDir := flag.String("csv", "", "directory to write figure CSV data into")
+	csvDir := flag.String("csv", "", "directory to write figure CSV (and JSON) data into")
 	only := flag.String("only", "", "run only the experiment with this ID (e.g. E5)")
+	workers := flag.Int("workers", 0, "worker pool size override (0 = GOMAXPROCS); results are identical for any setting")
 	flag.Parse()
+	pool.Workers = *workers
 
 	o := expt.Options{Quick: *quick, Trials: *trials, Seed: *seed}
 
@@ -64,6 +67,17 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintln(os.Stderr, "wrote", path)
+			j, err := s.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ssos-bench:", err)
+				os.Exit(1)
+			}
+			jpath := filepath.Join(*csvDir, s.ID+".json")
+			if err := os.WriteFile(jpath, j, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "ssos-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "wrote", jpath)
 		}
 	}
 }

@@ -17,15 +17,22 @@
 // The run prints per-epoch vote tallies, every eviction/rejoin event,
 // and a final cluster-availability summary; output is byte-identical
 // for a fixed flag set, regardless of how many cores execute it.
+// -trace N attaches a per-replica flight recorder and dumps an evicted
+// replica's last N steps; -events-out/-metrics-out write the
+// structured event stream (JSONL) and the stabilization metrics (JSON)
+// described in README "Observability".
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ssos/internal/cluster"
 	"ssos/internal/core"
+	"ssos/internal/obs"
+	"ssos/internal/pool"
 )
 
 var approaches = map[string]core.Approach{
@@ -44,7 +51,12 @@ func main() {
 	epochSteps := flag.Int("epoch-steps", cluster.DefaultEpochSteps, "machine steps per epoch")
 	strikeEvery := flag.Int("strike-every", cluster.DefaultStrikeEvery, "strike a random minority every k-th epoch")
 	strikeProb := flag.Float64("strike-prob", 0, "strike each replica with this probability per epoch (overrides -strike-every)")
+	traceN := flag.Int("trace", 0, "keep a flight recorder of each replica's last N steps; dump it on eviction")
+	eventsOut := flag.String("events-out", "", "write the structured event stream as JSONL to this file")
+	metricsOut := flag.String("metrics-out", "", "write the stabilization metrics as JSON to this file")
+	workers := flag.Int("workers", 0, "worker pool size override (0 = GOMAXPROCS); results are identical for any setting")
 	flag.Parse()
+	pool.Workers = *workers
 
 	a, ok := approaches[*approach]
 	if !ok {
@@ -57,6 +69,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	var col *obs.Collector
+	if *eventsOut != "" || *metricsOut != "" {
+		col = obs.NewCollector()
+	}
 	c, err := cluster.New(cluster.Config{
 		Replicas:    *replicas,
 		Approach:    a,
@@ -65,6 +81,8 @@ func main() {
 		Faults:      mode,
 		StrikeEvery: *strikeEvery,
 		StrikeProb:  *strikeProb,
+		Collector:   col,
+		TraceN:      *traceN,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ssos-cluster:", err)
@@ -75,4 +93,33 @@ func main() {
 		c.Summary().Replicas, a, c.Quorum(), *epochSteps, mode, *seed)
 	c.Run(*epochs)
 	fmt.Print(c.RenderLog())
+	if col != nil {
+		c.FinishObservability()
+		if *eventsOut != "" {
+			writeOut(*eventsOut, col.WriteJSONL)
+		}
+		if *metricsOut != "" {
+			writeOut(*metricsOut, col.Metrics.WriteJSON)
+		}
+	}
+}
+
+// writeOut writes one observability artifact via the given renderer,
+// exiting on I/O errors (truncated telemetry must not look like a
+// clean run).
+func writeOut(path string, render func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssos-cluster:", err)
+		os.Exit(1)
+	}
+	if err := render(f); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssos-cluster:", err)
+		os.Exit(1)
+	}
 }

@@ -9,18 +9,23 @@
 // Approaches: baseline, reinstall, continue, monitor, primitive,
 // scheduler, checkpoint, adaptive. Faults: none, bitflip, os-blast,
 // cpu-blast, pc, all-ram, table-blast (scheduler), proc-code
-// (scheduler).
+// (scheduler). -events-out/-metrics-out write the structured event
+// stream (JSONL) and the stabilization metrics (JSON) described in
+// README "Observability".
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ssos/internal/core"
 	"ssos/internal/fault"
 	"ssos/internal/guest"
 	"ssos/internal/mem"
+	"ssos/internal/obs"
+	"ssos/internal/pool"
 	"ssos/internal/trace"
 )
 
@@ -46,7 +51,11 @@ func main() {
 	ring := flag.Bool("ring", false, "run the Dijkstra token-ring workload (scheduler only)")
 	protect := flag.Bool("protect", false, "enable the memory-protection extension (scheduler only)")
 	traceN := flag.Int("trace", 0, "dump the last N executed steps at the end")
+	eventsOut := flag.String("events-out", "", "write the structured event stream as JSONL to this file")
+	metricsOut := flag.String("metrics-out", "", "write the stabilization metrics as JSON to this file")
+	workers := flag.Int("workers", 0, "worker pool size override (0 = GOMAXPROCS); results are identical for any setting")
 	flag.Parse()
+	pool.Workers = *workers
 
 	a, ok := approaches[*approach]
 	if !ok {
@@ -66,6 +75,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ssos-run:", err)
 		os.Exit(1)
+	}
+	var col *obs.Collector
+	if *eventsOut != "" || *metricsOut != "" {
+		col = obs.NewCollector()
+		s.Instrument(col)
 	}
 	var rec *trace.Recorder
 	if *traceN > 0 {
@@ -130,6 +144,35 @@ func main() {
 	if rec != nil {
 		fmt.Println("last steps:")
 		fmt.Print(rec.Dump())
+	}
+	if col != nil {
+		s.ExportMetrics(col.Metrics)
+		if *eventsOut != "" {
+			writeOut(*eventsOut, col.WriteJSONL)
+		}
+		if *metricsOut != "" {
+			writeOut(*metricsOut, col.Metrics.WriteJSON)
+		}
+	}
+}
+
+// writeOut writes one observability artifact via the given renderer,
+// exiting on I/O errors (truncated telemetry must not look like a
+// clean run).
+func writeOut(path string, render func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssos-run:", err)
+		os.Exit(1)
+	}
+	if err := render(f); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssos-run:", err)
+		os.Exit(1)
 	}
 }
 

@@ -32,7 +32,9 @@ import (
 
 	"ssos/internal/core"
 	"ssos/internal/fault"
+	"ssos/internal/obs"
 	"ssos/internal/pool"
+	"ssos/internal/trace"
 )
 
 // Default configuration values.
@@ -77,6 +79,15 @@ type Config struct {
 	// Schedule, when non-nil, replaces generated strikes entirely
 	// (tests use this to pin exact strike placements).
 	Schedule []Strike
+	// Collector, when non-nil, receives the cluster's structured event
+	// stream (replica events in replica order, then the vote tally and
+	// reconfiguration events, per epoch) and aggregates stabilization
+	// metrics. See internal/cluster/observe.go.
+	Collector *obs.Collector
+	// TraceN, when positive, keeps a flight recorder of each replica's
+	// last TraceN executed steps and attaches the dump of an evicted
+	// replica to its eviction Event (post-mortem for divergence).
+	TraceN int
 }
 
 // replica is one fleet member: a system, its private injector, and
@@ -87,6 +98,10 @@ type replica struct {
 	sys         *core.System
 	inj         *fault.Injector
 	epochStart  uint64 // Steps() at the start of the current epoch
+	// col buffers the replica's own event stream (nil when the cluster
+	// is uninstrumented); rec is the optional flight recorder.
+	col *obs.Collector
+	rec *trace.Recorder
 }
 
 // Cluster is a running replicated fleet.
@@ -156,6 +171,10 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	for i := 0; i < cfg.Replicas; i++ {
 		r := &replica{id: i}
+		if cfg.Collector != nil {
+			r.col = obs.NewCollector()
+			r.col.Replica = i
+		}
 		c.boot(r, nil)
 		c.replicas = append(c.replicas, r)
 	}
@@ -195,6 +214,13 @@ func (c *Cluster) boot(r *replica, donor *replica) {
 		}
 	}
 	r.sys = sys
+	if r.col != nil {
+		sys.Instrument(r.col)
+	}
+	if c.cfg.TraceN > 0 {
+		r.rec = trace.NewRecorder(sys.M, c.cfg.TraceN)
+		sys.M.AfterStep = r.rec.Observe
+	}
 	r.inj = fault.NewInjector(sys.M, injectorSeed(c.cfg.Seed, r.id, r.incarnation))
 	r.incarnation++
 }
@@ -225,14 +251,21 @@ func (c *Cluster) runEpoch() {
 	}
 
 	// Step every replica through the epoch on the shared worker pool.
-	// Each job touches only its own replica, so the fan-out is safe
-	// and the results are independent of goroutine scheduling.
+	// Each job touches only its own replica (including its private
+	// event collector), so the fan-out is safe and the results are
+	// independent of goroutine scheduling.
 	outputs := make([]epochOutput, len(c.replicas))
 	pool.Run(len(c.replicas), func(i int) {
-		outputs[i] = c.replicas[i].runEpoch(c.cfg.EpochSteps, perReplica[i])
+		r := c.replicas[i]
+		if r.col != nil {
+			r.col.Epoch = e
+		}
+		outputs[i] = r.runEpoch(c.cfg.EpochSteps, perReplica[i])
 	})
+	c.drainObs()
 
 	v := tally(outputs, c.Quorum())
+	c.emitVote(e, v)
 	stat := EpochStat{
 		Epoch:   e,
 		Strikes: strikes,

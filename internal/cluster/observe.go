@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"strconv"
+
+	"ssos/internal/obs"
+)
+
+// Observability wiring. When Config.Collector is set, every replica
+// gets a private obs.Collector (single-goroutine, so the parallel
+// epoch fan-out stays race-free); after each epoch the coordinator
+// drains the replica buffers in replica order into the master
+// collector, then appends its own vote-tally and reconfiguration
+// events. Event order is therefore a pure function of the
+// configuration — byte-identical across runs and worker counts, the
+// same contract the vote log already satisfies.
+
+// clusterStep is the cluster-level clock stamp for coordinator events:
+// the logical end of the epoch. Replicas may drift in private step
+// counts after fresh boots, so coordinator events use the fleet's
+// lockstep clock instead of any one machine's.
+func (c *Cluster) clusterStep(epoch int) uint64 {
+	return uint64(epoch+1) * uint64(c.cfg.EpochSteps)
+}
+
+// drainObs splices the per-replica event buffers (in replica order)
+// into the master collector after an epoch.
+func (c *Cluster) drainObs() {
+	if c.cfg.Collector == nil {
+		return
+	}
+	for _, r := range c.replicas {
+		c.cfg.Collector.Append(r.col.Drain()...)
+	}
+}
+
+// emitVote records the epoch's tally as one cluster-scoped event.
+func (c *Cluster) emitVote(epoch int, v vote) {
+	if c.cfg.Collector == nil {
+		return
+	}
+	verdict := "legal"
+	switch {
+	case !v.hasQuorum:
+		verdict = "no-quorum"
+	case !v.legal:
+		verdict = "illegal"
+	}
+	c.cfg.Collector.Emit(obs.Event{
+		Step:    c.clusterStep(epoch),
+		Type:    obs.TypeVoteTally,
+		Replica: -1,
+		Epoch:   epoch,
+		Code:    v.digest,
+		Arg:     uint64(v.agree),
+		Note:    verdict,
+	})
+}
+
+// emitEviction records one evict + rejoin pair for the reconfigured
+// replica. Arg on the rejoin event is donor+1 (0 = from-ROM fresh
+// boot), keeping the zero-omitted JSON encoding unambiguous.
+func (c *Cluster) emitEviction(epoch int, replica, donor int, reason string) {
+	if c.cfg.Collector == nil {
+		return
+	}
+	step := c.clusterStep(epoch)
+	c.cfg.Collector.Emit(obs.Event{
+		Step:    step,
+		Type:    obs.TypeReplicaEvicted,
+		Replica: replica,
+		Epoch:   epoch,
+		Note:    reason,
+	})
+	c.cfg.Collector.Emit(obs.Event{
+		Step:    step,
+		Type:    obs.TypeReplicaRejoined,
+		Replica: replica,
+		Epoch:   epoch,
+		Arg:     uint64(donor + 1),
+	})
+}
+
+// FinishObservability folds the per-replica registries into the master
+// collector's (in replica order) and sets the cluster gauges —
+// per-replica availability (the fraction of epochs the replica was not
+// evicted) and the per-replica eviction counts' complement. Call it
+// once, after the last epoch; without a configured collector it is a
+// no-op.
+func (c *Cluster) FinishObservability() {
+	col := c.cfg.Collector
+	if col == nil {
+		return
+	}
+	for _, r := range c.replicas {
+		col.Metrics.Merge(r.col.Metrics)
+	}
+	s := c.Summary()
+	if s.Epochs == 0 {
+		return
+	}
+	for i, ev := range s.PerReplica {
+		avail := 1 - float64(ev)/float64(s.Epochs)
+		col.Metrics.SetGauge("replica."+strconv.Itoa(i)+".availability", avail)
+	}
+	col.Metrics.Add("cluster.fresh_boots", uint64(s.FreshBoots))
+}

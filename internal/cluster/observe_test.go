@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ssos/internal/core"
+	"ssos/internal/obs"
+	"ssos/internal/pool"
+)
+
+// An instrumented cluster run: event log + metrics doc, rendered to
+// bytes so determinism checks can compare them wholesale.
+func obsRun(t *testing.T, cfg Config, epochs int) []byte {
+	t.Helper()
+	col := obs.NewCollector()
+	cfg.Collector = col
+	c := MustNew(cfg)
+	c.Run(epochs)
+	c.FinishObservability()
+	var b bytes.Buffer
+	if err := col.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	j, err := col.Metrics.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b.Bytes(), j...)
+}
+
+// The cluster event stream must be byte-identical across runs and
+// across worker counts — the tentpole's determinism requirement, at
+// the layer where parallelism actually happens.
+func TestObsDeterministicAcrossWorkers(t *testing.T) {
+	cfg := Config{
+		Replicas: 5,
+		Approach: core.ApproachReinstall,
+		Faults:   ModeOSBlast,
+		Seed:     123,
+	}
+	first := obsRun(t, cfg, 6)
+	if len(first) == 0 {
+		t.Fatal("empty instrumented log")
+	}
+	if !bytes.Equal(first, obsRun(t, cfg, 6)) {
+		t.Fatal("two instrumented runs diverged")
+	}
+	for _, w := range []int{1, 2, 8} {
+		pool.Workers = w
+		got := obsRun(t, cfg, 6)
+		pool.Workers = 0
+		if !bytes.Equal(first, got) {
+			t.Fatalf("worker count %d leaked into the event log", w)
+		}
+	}
+}
+
+// Cluster events carry the fleet clock and replica scoping: vote
+// tallies each epoch, evictions paired with rejoins, replica events
+// tagged with their origin.
+func TestObsClusterEvents(t *testing.T) {
+	col := obs.NewCollector()
+	c := MustNew(Config{
+		Replicas:  3,
+		Approach:  core.ApproachBaseline, // crashes guarantee evictions
+		Faults:    ModeBlast,
+		Seed:      7,
+		Collector: col,
+	})
+	c.Run(6)
+	c.FinishObservability()
+
+	votes, evicts, rejoins := 0, 0, 0
+	for _, e := range col.Events() {
+		switch e.Type {
+		case obs.TypeVoteTally:
+			votes++
+			if e.Replica != -1 || e.Epoch < 0 {
+				t.Fatalf("vote tally scoping wrong: %+v", e)
+			}
+			if want := c.clusterStep(e.Epoch); e.Step != want {
+				t.Fatalf("vote tally step %d, want fleet clock %d", e.Step, want)
+			}
+		case obs.TypeReplicaEvicted:
+			evicts++
+			if e.Replica < 0 || e.Note == "" {
+				t.Fatalf("eviction missing replica or reason: %+v", e)
+			}
+		case obs.TypeReplicaRejoined:
+			rejoins++
+		}
+	}
+	if votes != 6 {
+		t.Fatalf("vote tallies %d, want one per epoch", votes)
+	}
+	if evicts == 0 || evicts != rejoins {
+		t.Fatalf("evictions %d, rejoins %d", evicts, rejoins)
+	}
+	if got := col.Metrics.Counter("cluster.evictions"); got != uint64(evicts) {
+		t.Fatalf("eviction counter %d != %d events", got, evicts)
+	}
+	if got := col.Metrics.Counter("cluster.epochs"); got != 6 {
+		t.Fatalf("epoch counter %d", got)
+	}
+	// Replica metrics were merged: strike injections are counted in the
+	// struck replica's own registry and reach the master only through
+	// FinishObservability's merge.
+	if col.Metrics.Counter("faults.injected") == 0 {
+		t.Fatal("replica metrics not merged into master registry")
+	}
+	// Availability gauges exist (present in the marshaled doc) and lie
+	// in [0, 1].
+	doc, err := col.Metrics.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		name := "replica." + string(rune('0'+i)) + ".availability"
+		if !bytes.Contains(doc, []byte(name)) {
+			t.Fatalf("metrics doc missing gauge %s:\n%s", name, doc)
+		}
+		if g := col.Metrics.Gauge(name); g < 0 || g > 1 {
+			t.Fatalf("replica %d availability %v out of range", i, g)
+		}
+	}
+}
+
+// Satellite (a): with TraceN set, an evicted replica's flight-recorder
+// dump is attached to its eviction event and shows up in the rendered
+// log.
+func TestEvictionTraceDump(t *testing.T) {
+	c := MustNew(Config{
+		Replicas: 3,
+		Approach: core.ApproachBaseline,
+		Faults:   ModeBlast,
+		Seed:     7,
+		TraceN:   16,
+	})
+	c.Run(6)
+	if len(c.Events) == 0 {
+		t.Fatal("no evictions under baseline + blast")
+	}
+	for _, e := range c.Events {
+		if e.Trace == "" {
+			t.Fatalf("eviction without trace dump: %+v", e)
+		}
+		if n := len(strings.Split(strings.TrimRight(e.Trace, "\n"), "\n")); n > 16 {
+			t.Fatalf("trace dump %d lines, recorder depth 16", n)
+		}
+	}
+	log := c.RenderLog()
+	if !strings.Contains(log, "last steps before eviction:") {
+		t.Fatalf("rendered log missing trace section:\n%s", log)
+	}
+
+	// Without TraceN, no dumps and no trace section.
+	c2 := MustNew(Config{Replicas: 3, Approach: core.ApproachBaseline, Faults: ModeBlast, Seed: 7})
+	c2.Run(6)
+	for _, e := range c2.Events {
+		if e.Trace != "" {
+			t.Fatal("trace dump attached with tracing off")
+		}
+	}
+}

@@ -15,6 +15,9 @@ type Event struct {
 	// Donor is the replica whose state the evictee adopted on rejoin,
 	// or -1 for a from-ROM fresh boot.
 	Donor int
+	// Trace is the evicted incarnation's flight-recorder dump (its
+	// last Config.TraceN executed steps), empty when tracing is off.
+	Trace string
 }
 
 func (e Event) String() string {
@@ -111,13 +114,20 @@ func (c *Cluster) reconfigure(epoch int, v vote, outputs []epochOutput) []int {
 }
 
 // evict reinstalls r from ROM and rejoins it (via state transfer from
-// donor, or from power-on when donor is nil), logging the event.
+// donor, or from power-on when donor is nil), logging the event. The
+// evicted incarnation's flight recorder is dumped before the boot
+// replaces it.
 func (c *Cluster) evict(epoch int, r *replica, donor *replica, reason string) {
 	donorID := -1
 	if donor != nil {
 		donorID = donor.id
 	}
+	var dump string
+	if r.rec != nil {
+		dump = r.rec.Dump()
+	}
 	c.boot(r, donor)
 	c.evictions++
-	c.Events = append(c.Events, Event{Epoch: epoch, Replica: r.id, Reason: reason, Donor: donorID})
+	c.Events = append(c.Events, Event{Epoch: epoch, Replica: r.id, Reason: reason, Donor: donorID, Trace: dump})
+	c.emitEviction(epoch, r.id, donorID, reason)
 }

@@ -69,6 +69,12 @@ func (c *Cluster) RenderLog() string {
 			if e.Epoch == st.Epoch {
 				fmt.Fprintf(&b, "epoch %3d: %s\n", st.Epoch, strings.TrimPrefix(e.String(),
 					fmt.Sprintf("epoch %d: ", e.Epoch)))
+				if e.Trace != "" {
+					fmt.Fprintf(&b, "epoch %3d: replica %d last steps before eviction:\n", st.Epoch, e.Replica)
+					for _, line := range strings.Split(strings.TrimRight(e.Trace, "\n"), "\n") {
+						fmt.Fprintf(&b, "    %s\n", line)
+					}
+				}
 			}
 		}
 	}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"ssos/internal/obs"
+)
+
+// ObsConfirm is the number of consecutive legal heartbeats the
+// observability layer requires before declaring legality regained —
+// the same confirmation depth cmd/ssos-run's post-hoc report uses.
+const ObsConfirm = 10
+
+// Instrument attaches the observability layer to the system: machine
+// events (NMI, IRQ, exception, reset) flow from the nil-checked probe
+// pointer on the machine, and the system layer derives the
+// stabilization events the paper's mechanisms correspond to —
+// reinstall start/completion for the Section-3 handlers, predicate
+// evaluation and repair for the Section-4 monitor, and
+// legality-regained when the heartbeat stream re-satisfies the
+// approach's legal-execution specification after an injected fault.
+//
+// Instrument must be called before the run whose events are wanted;
+// calling it replaces any previous instrumentation. An uninstrumented
+// system carries a nil probe and pays no observation cost.
+func (s *System) Instrument(sink obs.Probe) {
+	p := &sysProbe{sys: s, sink: sink}
+	s.M.Probe = p
+	if s.Heartbeat != nil {
+		spec := s.Spec()
+		p.legal = &obs.LegalityTracker{
+			Start:        spec.Start,
+			MaxGap:       spec.MaxGap,
+			AllowRestart: spec.AllowRestart,
+			Confirm:      ObsConfirm,
+			Sink:         sink,
+		}
+		s.Heartbeat.OnWrite = p.onHeartbeat
+	}
+	if s.Repairs != nil {
+		s.Repairs.OnWrite = p.onRepair
+	}
+}
+
+// sysProbe sits between the machine's raw event stream and the sink,
+// adding the derived stabilization events. It relies on what each
+// approach's handler actually does (see internal/guest):
+//
+//   - reinstall/continue/adaptive: every NMI or vectored exception
+//     enters the Figure-1 handler, which reinstalls the OS image from
+//     ROM — reinstall-started. The next guest heartbeat confirms the
+//     restart took — reinstall-completed.
+//   - monitor: every NMI runs the Section-4 monitor (executable
+//     refresh + predicate evaluation) — predicate-eval; its exception
+//     path falls back to a full reinstall — reinstall-started. Each
+//     repair-port write reports one predicate that failed and was
+//     repaired — predicate-failed + predicate-repaired.
+//   - watchdog-to-reset variants: the reset boots through the ROM
+//     installer — reinstall-started.
+type sysProbe struct {
+	sys   *System
+	sink  obs.Probe
+	legal *obs.LegalityTracker
+	// pending is set between a reinstall entering its handler and the
+	// guest's next observable output.
+	pending bool
+}
+
+// Emit receives machine-level events (and fault-injection events, which
+// the injector routes through the machine probe), forwards them, and
+// appends the derived stabilizer events.
+func (p *sysProbe) Emit(e obs.Event) {
+	p.sink.Emit(e)
+	a := p.sys.Cfg.Approach
+	switch e.Type {
+	case obs.TypeNMI:
+		switch a {
+		case ApproachReinstall, ApproachContinue, ApproachAdaptive:
+			p.sink.Emit(obs.Ev(e.Step, obs.TypeReinstallStarted))
+			p.pending = true
+		case ApproachMonitor:
+			p.sink.Emit(obs.Ev(e.Step, obs.TypePredicateEval))
+		}
+	case obs.TypeException, obs.TypeReset:
+		switch a {
+		case ApproachMonitor:
+			// An exception (or watchdog reset) under the monitor is the
+			// failure of the one consistency condition in-place repair
+			// cannot restore — the OS code itself is no longer runnable —
+			// so the monitor falls back to a full reinstall. Report the
+			// implicit predicate failure ahead of the reinstall; Code
+			// carries the exception vector.
+			fail := obs.Ev(e.Step, obs.TypePredicateFailed)
+			fail.Code = e.Code
+			p.sink.Emit(fail)
+			p.sink.Emit(obs.Ev(e.Step, obs.TypeReinstallStarted))
+			p.pending = true
+		case ApproachReinstall, ApproachContinue, ApproachAdaptive:
+			p.sink.Emit(obs.Ev(e.Step, obs.TypeReinstallStarted))
+			p.pending = true
+		}
+	case obs.TypeFaultInjected:
+		if p.legal != nil {
+			p.legal.OnFault(e.Step)
+		}
+	}
+}
+
+func (p *sysProbe) onHeartbeat(step uint64, v uint16) {
+	if p.pending {
+		p.pending = false
+		p.sink.Emit(obs.Ev(step, obs.TypeReinstallCompleted))
+	}
+	if p.legal != nil {
+		p.legal.OnBeat(step, v)
+	}
+}
+
+func (p *sysProbe) onRepair(step uint64, v uint16) {
+	fail := obs.Ev(step, obs.TypePredicateFailed)
+	fail.Code = uint64(v)
+	p.sink.Emit(fail)
+	rep := obs.Ev(step, obs.TypePredicateRepaired)
+	rep.Code = uint64(v)
+	p.sink.Emit(rep)
+}
+
+// ExportMetrics records the system's machine counters into the
+// registry (counts the event stream cannot reconstruct, because
+// instrumentation may attach after boot).
+func (s *System) ExportMetrics(m *obs.Metrics) {
+	m.Add("machine.steps", s.M.Stats.Steps)
+	m.Add("machine.instrs", s.M.Stats.Instrs)
+	m.Add("machine.halt_ticks", s.M.Stats.HaltTicks)
+	if s.Watchdog != nil {
+		m.Add("watchdog.fires", s.Watchdog.Fires)
+	}
+	if s.Heartbeat != nil {
+		m.Add("guest.heartbeats", s.Heartbeat.Total())
+	}
+	if s.Repairs != nil {
+		m.Add("guest.repair_reports", s.Repairs.Total())
+	}
+	if s.Checkpoint != nil {
+		m.Add("checkpoint.snapshots", s.Checkpoint.Snapshots)
+		m.Add("checkpoint.restores", s.Checkpoint.Restores)
+	}
+}

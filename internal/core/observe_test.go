@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ssos/internal/fault"
+	"ssos/internal/guest"
+	"ssos/internal/mem"
+	"ssos/internal/obs"
+)
+
+func firstIndex(evs []obs.Event, t obs.Type) int {
+	for i, e := range evs {
+		if e.Type == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// The acceptance scenario of the observability layer: monitor system,
+// OS image blasted, the event stream must tell the stabilization story
+// in causal order — fault injected, predicates failed and were
+// repaired, legality regained — and the metrics must report
+// steps-to-legal.
+func TestInstrumentMonitorOSBlast(t *testing.T) {
+	s := MustNew(Config{Approach: ApproachMonitor})
+	col := obs.NewCollector()
+	s.Instrument(col)
+
+	s.Run(100000)
+	inj := fault.NewInjector(s.M, 1)
+	inj.RandomizeRegion(mem.Region{Name: "os", Start: uint32(guest.OSSeg) << 4, Size: guest.ImageSize})
+	s.Run(400000)
+
+	evs := col.Events()
+	fi := firstIndex(evs, obs.TypeFaultInjected)
+	pf := firstIndex(evs, obs.TypePredicateFailed)
+	lr := firstIndex(evs, obs.TypeLegalityRegained)
+	// The remedy is either an in-place repair or a fallback reinstall,
+	// depending on whether the blast left the OS code runnable.
+	rem := firstIndex(evs, obs.TypePredicateRepaired)
+	if ri := firstIndex(evs, obs.TypeReinstallCompleted); rem < 0 || (ri >= 0 && ri < rem) {
+		rem = ri
+	}
+	if fi < 0 || pf < 0 || rem < 0 || lr < 0 {
+		t.Fatalf("missing stages: fault=%d failed=%d remedy=%d regained=%d", fi, pf, rem, lr)
+	}
+	if !(fi < pf && pf <= rem && rem < lr) {
+		t.Fatalf("stages out of order: fault=%d failed=%d remedy=%d regained=%d", fi, pf, rem, lr)
+	}
+	if firstIndex(evs, obs.TypePredicateEval) < 0 {
+		t.Fatal("no predicate-eval events despite watchdog NMIs")
+	}
+
+	m := col.Metrics
+	if m.Counter("machine.nmis") == 0 || m.Counter("stabilizer.predicate_failures") == 0 {
+		t.Fatalf("counters empty: nmis=%d failures=%d", m.Counter("machine.nmis"), m.Counter("stabilizer.predicate_failures"))
+	}
+	stl := m.Samples("stabilization.steps_to_legal")
+	if len(stl) != 1 {
+		t.Fatalf("steps_to_legal samples: %v", stl)
+	}
+	// The regained event's payload must match the post-hoc detector.
+	faultStep := inj.Log[0].Step
+	step, ok := s.Spec().RecoveredAfter(s.Heartbeat.Writes(), faultStep, ObsConfirm)
+	if !ok {
+		t.Fatal("post-hoc detector says not recovered")
+	}
+	if stl[0] != step-faultStep {
+		t.Fatalf("steps_to_legal %d != post-hoc %d", stl[0], step-faultStep)
+	}
+}
+
+// Approach 1: every watchdog NMI reinstalls; the stream must pair each
+// reinstall-started with a reinstall-completed at the next heartbeat.
+func TestInstrumentReinstallPairs(t *testing.T) {
+	s := MustNew(Config{Approach: ApproachReinstall})
+	col := obs.NewCollector()
+	s.Instrument(col)
+	s.Run(200000)
+
+	evs := col.Events()
+	var started, completed int
+	pending := false
+	for _, e := range evs {
+		switch e.Type {
+		case obs.TypeReinstallStarted:
+			started++
+			pending = true
+		case obs.TypeReinstallCompleted:
+			completed++
+			if !pending {
+				t.Fatal("completion without a start")
+			}
+			pending = false
+		}
+	}
+	if started == 0 || completed == 0 {
+		t.Fatalf("no reinstall events: started=%d completed=%d", started, completed)
+	}
+	if completed > started {
+		t.Fatalf("more completions than starts: %d > %d", completed, started)
+	}
+	if n := col.Metrics.Counter("stabilizer.reinstalls"); n != uint64(completed) {
+		t.Fatalf("reinstall counter %d != %d completions", n, completed)
+	}
+}
+
+// A fixed seed must yield a byte-identical event log, run after run.
+func TestInstrumentDeterministicEventLog(t *testing.T) {
+	run := func() []byte {
+		s := MustNew(Config{Approach: ApproachMonitor})
+		col := obs.NewCollector()
+		s.Instrument(col)
+		s.Run(50000)
+		inj := fault.NewInjector(s.M, 7)
+		inj.BlastCPU()
+		s.Run(200000)
+		var b bytes.Buffer
+		if err := col.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+		s.ExportMetrics(col.Metrics)
+		j, err := col.Metrics.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(b.Bytes(), j...)
+	}
+	first := run()
+	if !bytes.Equal(first, run()) {
+		t.Fatal("instrumented run not deterministic")
+	}
+	if len(first) == 0 {
+		t.Fatal("empty log")
+	}
+}
+
+// An uninstrumented system must behave identically to an instrumented
+// one (observation is passive): same heartbeat stream, same stats.
+func TestInstrumentIsPassive(t *testing.T) {
+	plain := MustNew(Config{Approach: ApproachReinstall})
+	plain.Run(150000)
+
+	obsd := MustNew(Config{Approach: ApproachReinstall})
+	obsd.Instrument(obs.NewCollector())
+	obsd.Run(150000)
+
+	if plain.M.Stats != obsd.M.Stats {
+		t.Fatalf("stats diverged:\nplain %v\nobs   %v", plain.M.Stats, obsd.M.Stats)
+	}
+	pw, ow := plain.Heartbeat.Writes(), obsd.Heartbeat.Writes()
+	if len(pw) != len(ow) {
+		t.Fatalf("heartbeat streams diverged: %d vs %d writes", len(pw), len(ow))
+	}
+	for i := range pw {
+		if pw[i] != ow[i] {
+			t.Fatalf("write %d diverged: %v vs %v", i, pw[i], ow[i])
+		}
+	}
+}

@@ -18,6 +18,10 @@ type Console struct {
 	// Max bounds the number of retained writes; older writes are
 	// dropped. Zero means unlimited.
 	Max int
+	// OnWrite, when non-nil, is invoked for every write after it is
+	// recorded. The observability layer hooks here to derive events
+	// from guest output (heartbeats, repair reports).
+	OnWrite func(step uint64, v uint16)
 
 	writes  []PortWrite
 	total   uint64
@@ -45,6 +49,9 @@ func (c *Console) Out(_ uint16, v uint16) {
 		drop := len(c.writes) - c.Max
 		c.writes = append(c.writes[:0], c.writes[drop:]...)
 		c.dropped += uint64(drop)
+	}
+	if c.OnWrite != nil {
+		c.OnWrite(step, v)
 	}
 }
 

@@ -21,6 +21,7 @@
 package expt
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -143,6 +144,34 @@ func (s *Series) CSV() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// JSON renders the series as an indented JSON document — the
+// machine-readable twin of CSV, carrying the metadata (title, axis
+// labels, log scaling) the CSV header cannot. Field order is fixed by
+// the struct, so the output is deterministic.
+func (s *Series) JSON() ([]byte, error) {
+	type jsonLine struct {
+		Name string    `json:"name"`
+		X    []float64 `json:"x"`
+		Y    []float64 `json:"y"`
+	}
+	doc := struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		XLabel string     `json:"xlabel"`
+		YLabel string     `json:"ylabel"`
+		XLog   bool       `json:"xlog,omitempty"`
+		Lines  []jsonLine `json:"lines"`
+	}{ID: s.ID, Title: s.Title, XLabel: s.XLabel, YLabel: s.YLabel, XLog: s.XLog}
+	for _, l := range s.Lines {
+		doc.Lines = append(doc.Lines, jsonLine(l))
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }
 
 // Render draws the series as a coarse ASCII chart, one mark per line.

@@ -16,6 +16,7 @@ import (
 	"ssos/internal/isa"
 	"ssos/internal/machine"
 	"ssos/internal/mem"
+	"ssos/internal/obs"
 )
 
 // Kind classifies injected faults.
@@ -91,6 +92,17 @@ func NewInjector(m *machine.Machine, seed int64) *Injector {
 
 func (in *Injector) record(k Kind, addr uint32, note string) {
 	in.Log = append(in.Log, Record{Step: in.M.Stats.Steps, Kind: k, Addr: addr, Note: note})
+	if in.M.Probe != nil {
+		ev := obs.Ev(in.M.Stats.Steps, obs.TypeFaultInjected)
+		ev.Code = uint64(k)
+		ev.Arg = uint64(addr)
+		if note != "" {
+			ev.Note = k.String() + " " + note
+		} else {
+			ev.Note = k.String()
+		}
+		in.M.Probe.Emit(ev)
+	}
 }
 
 // FlipRAMBit flips one uniformly chosen bit among all RAM bytes and

@@ -5,6 +5,7 @@ import (
 
 	"ssos/internal/isa"
 	"ssos/internal/mem"
+	"ssos/internal/obs"
 )
 
 // Interrupt and exception vector numbers (x86 assignments).
@@ -118,6 +119,27 @@ type Stats struct {
 	HaltTicks  uint64 // ticks spent halted
 }
 
+// String renders every counter compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("steps=%d instrs=%d nmis=%d irqs=%d exceptions=%d resets=%d halt=%d",
+		s.Steps, s.Instrs, s.NMIs, s.IRQs, s.Exceptions, s.Resets, s.HaltTicks)
+}
+
+// Delta returns the per-counter difference s - prev. Take a snapshot
+// before a measured interval and Delta after it to attribute counts to
+// that interval (the counters only ever grow).
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Steps:      s.Steps - prev.Steps,
+		Instrs:     s.Instrs - prev.Instrs,
+		NMIs:       s.NMIs - prev.NMIs,
+		IRQs:       s.IRQs - prev.IRQs,
+		Exceptions: s.Exceptions - prev.Exceptions,
+		Resets:     s.Resets - prev.Resets,
+		HaltTicks:  s.HaltTicks - prev.HaltTicks,
+	}
+}
+
 // PortDevice is an I/O-port-mapped device.
 type PortDevice interface {
 	// In services the IN instruction for the given port.
@@ -151,6 +173,12 @@ type Machine struct {
 	// AfterStep, when non-nil, is invoked after every step with the
 	// event that occurred. Monitors and fault injectors hook here.
 	AfterStep func(m *Machine, ev Event)
+
+	// Probe, when non-nil, receives structured observability events
+	// from the interrupt, exception and reset paths (never from the
+	// per-instruction path, so an instrumented machine stays fast and
+	// an uninstrumented one pays only a nil compare on rare paths).
+	Probe obs.Probe
 }
 
 // New creates a machine with the given bus and hardware options and
@@ -284,7 +312,7 @@ func (m *Machine) portOut(port uint16, v uint16) {
 	}
 }
 
-// String summarizes the machine state.
+// String summarizes the machine state and step counters.
 func (m *Machine) String() string {
-	return fmt.Sprintf("machine{%v steps=%d}", &m.CPU, m.Stats.Steps)
+	return fmt.Sprintf("machine{%v %v}", &m.CPU, m.Stats)
 }

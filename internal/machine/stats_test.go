@@ -1,0 +1,45 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"ssos/internal/isa"
+)
+
+func TestStatsStringAndDelta(t *testing.T) {
+	s := Stats{Steps: 100, Instrs: 90, NMIs: 3, IRQs: 2, Exceptions: 1, Resets: 4, HaltTicks: 5}
+	got := s.String()
+	for _, want := range []string{"steps=100", "instrs=90", "nmis=3", "irqs=2", "exceptions=1", "resets=4", "halt=5"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+
+	prev := Stats{Steps: 40, Instrs: 35, NMIs: 1, HaltTicks: 5}
+	d := s.Delta(prev)
+	want := Stats{Steps: 60, Instrs: 55, NMIs: 2, IRQs: 2, Exceptions: 1, Resets: 4}
+	if d != want {
+		t.Fatalf("Delta = %+v, want %+v", d, want)
+	}
+	// Delta against itself is zero; Delta against zero is identity.
+	if (s.Delta(s) != Stats{}) {
+		t.Fatal("self delta not zero")
+	}
+	if s.Delta(Stats{}) != s {
+		t.Fatal("zero delta not identity")
+	}
+}
+
+// Machine.String must surface the delivery counters (the quantities the
+// stabilization analysis cares about), not just the step count.
+func TestMachineStringIncludesStats(t *testing.T) {
+	m := newTestMachine(t, prog(isa.Inst{Op: isa.OpNop}, isa.Inst{Op: isa.OpJmp}))
+	m.Run(5)
+	got := m.String()
+	for _, want := range []string{"steps=5", "nmis=0", "exceptions=", "resets="} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Machine.String() = %q, missing %q", got, want)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package machine
 
-import "ssos/internal/isa"
+import (
+	"ssos/internal/isa"
+	"ssos/internal/obs"
+)
 
 // Step advances the system by one clock tick: devices tick, then the
 // processor performs (at most) one unit of work — a reset, an interrupt
@@ -57,16 +60,25 @@ func (m *Machine) stepCPU() Event {
 	if m.resetPin {
 		m.Reset()
 		m.Stats.Resets++
+		if m.Probe != nil {
+			m.Probe.Emit(obs.Ev(m.Stats.Steps, obs.TypeReset))
+		}
 		return EventReset
 	}
 	if m.nmiPin && m.nmiDeliverable() {
 		m.deliverNMI()
 		m.Stats.NMIs++
+		if m.Probe != nil {
+			m.Probe.Emit(obs.Ev(m.Stats.Steps, obs.TypeNMI))
+		}
 		return EventNMI
 	}
 	if m.irqPin && m.CPU.Flags.Has(isa.FlagIF) {
 		m.deliverIRQ()
 		m.Stats.IRQs++
+		if m.Probe != nil {
+			m.Probe.Emit(obs.Ev(m.Stats.Steps, obs.TypeIRQ))
+		}
 		return EventIRQ
 	}
 	if m.CPU.Halted {
@@ -126,6 +138,11 @@ func (m *Machine) deliverIRQ() {
 // instruction when this is called.
 func (m *Machine) raiseException(vec uint8) Event {
 	m.Stats.Exceptions++
+	if m.Probe != nil {
+		ev := obs.Ev(m.Stats.Steps, obs.TypeException)
+		ev.Code = uint64(vec)
+		m.Probe.Emit(ev)
+	}
 	switch m.Opts.ExceptionPolicy {
 	case ExceptionHalt:
 		m.CPU.Halted = true

@@ -1,0 +1,278 @@
+// Package obs is the unified observability layer: a structured event
+// stream and a stabilization-metrics registry threaded through the
+// machine, the core systems, the replicated cluster and the experiment
+// harness.
+//
+// The paper proves its designs legal (watchdog NMIs, ROM reinstalls,
+// consistency-predicate repairs); this package makes those arguments
+// *observable*: every stabilization-relevant action is emitted as a
+// typed event on a Probe, and a metrics registry condenses the stream
+// into the headline numbers — steps-to-legal after each injected
+// fault, reinstall count, repair-vs-reinstall ratio, per-replica
+// availability.
+//
+// Design constraints, in order:
+//
+//   - Zero cost when disabled. Emission sites hold a nil-checked Probe
+//     pointer; an uninstrumented machine pays one nil compare on the
+//     rare event paths (interrupt delivery, exception, reset) and
+//     nothing on the per-instruction path.
+//   - Deterministic output. Events carry machine-step stamps, never
+//     wall-clock time; exporters render with stable field order; the
+//     cluster drains per-replica buffers in replica order. A fixed
+//     seed therefore produces byte-identical logs regardless of how
+//     many workers execute the run.
+//   - No upward imports. obs depends only on the standard library, so
+//     every layer (machine, fault, dev, core, cluster, expt) can emit
+//     into it without cycles.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Type classifies a structured event.
+type Type uint8
+
+// Event types. Each maps to one mechanism of the paper (the mapping is
+// documented in DESIGN.md §Observability).
+const (
+	// TypeNMI: the machine delivered a non-maskable interrupt (the
+	// watchdog's stabilizer entry, Section 2).
+	TypeNMI Type = iota
+	// TypeIRQ: the machine delivered a maskable interrupt.
+	TypeIRQ
+	// TypeException: the processor raised an exception (Code = vector).
+	TypeException
+	// TypeReset: the machine performed a hardware reset.
+	TypeReset
+	// TypeFaultInjected: the experiment harness injected a transient
+	// fault (Code = fault.Kind, Note = kind name and detail).
+	TypeFaultInjected
+	// TypeReinstallStarted: a stabilizer run that reinstalls the OS
+	// image from ROM began (Section 3, Figure 1).
+	TypeReinstallStarted
+	// TypeReinstallCompleted: the guest produced output again after a
+	// reinstall — the restart is live.
+	TypeReinstallCompleted
+	// TypePredicateEval: the approach-2 monitor ran its consistency
+	// predicates over the soft state (Section 4).
+	TypePredicateEval
+	// TypePredicateFailed: a consistency predicate did not hold
+	// (Code = the guest's repair code, e.g. 0xE001 canary).
+	TypePredicateFailed
+	// TypePredicateRepaired: the monitor repaired the failed predicate
+	// (Code = repair code). The guest reports failure and repair in one
+	// port write, so these are emitted pairwise at the same step.
+	TypePredicateRepaired
+	// TypeLegalityRegained: the observable output stream satisfied the
+	// legal-execution specification again after a fault, confirmed by a
+	// run of consecutive legal heartbeats (Code = steps from the fault
+	// to the first legal beat, Arg = the step of that beat).
+	TypeLegalityRegained
+	// TypeReplicaEvicted: the cluster reconfigurator evicted a replica
+	// (Replica = evictee, Note = reason).
+	TypeReplicaEvicted
+	// TypeReplicaRejoined: the evicted replica rejoined after reinstall
+	// (Arg = donor replica + 1, 0 for a from-ROM fresh boot).
+	TypeReplicaRejoined
+	// TypeVoteTally: the cluster voter tallied one epoch (Code = the
+	// winning digest, Arg = agreeing replicas, Note = verdict).
+	TypeVoteTally
+
+	numTypes // sentinel
+)
+
+var typeNames = [numTypes]string{
+	TypeNMI:                "nmi",
+	TypeIRQ:                "irq",
+	TypeException:          "exception",
+	TypeReset:              "reset",
+	TypeFaultInjected:      "fault-injected",
+	TypeReinstallStarted:   "reinstall-started",
+	TypeReinstallCompleted: "reinstall-completed",
+	TypePredicateEval:      "predicate-eval",
+	TypePredicateFailed:    "predicate-failed",
+	TypePredicateRepaired:  "predicate-repaired",
+	TypeLegalityRegained:   "legality-regained",
+	TypeReplicaEvicted:     "replica-evicted",
+	TypeReplicaRejoined:    "replica-rejoined",
+	TypeVoteTally:          "vote-tally",
+}
+
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Event is one structured observation. Step is the machine step at
+// which the event occurred (the only clock in the system — wall time
+// never appears, keeping output reproducible). Replica and Epoch are
+// -1 outside a cluster context; Code and Arg carry type-specific
+// numeric payloads documented on the Type constants.
+type Event struct {
+	Step    uint64
+	Type    Type
+	Replica int
+	Epoch   int
+	Code    uint64
+	Arg     uint64
+	Note    string
+}
+
+// Ev builds a plain machine-level event: no replica/epoch scope.
+// Emission sites use it so that scope tagging stays the collector's
+// job.
+func Ev(step uint64, t Type) Event {
+	return Event{Step: step, Type: t, Replica: -1, Epoch: -1}
+}
+
+// AppendJSON appends the event as one JSON object (no newline) with a
+// fixed field order, so logs are byte-stable across runs.
+func (e Event) AppendJSON(b []byte) []byte {
+	b = append(b, `{"step":`...)
+	b = strconv.AppendUint(b, e.Step, 10)
+	b = append(b, `,"type":"`...)
+	b = append(b, e.Type.String()...)
+	b = append(b, '"')
+	if e.Replica >= 0 {
+		b = append(b, `,"replica":`...)
+		b = strconv.AppendInt(b, int64(e.Replica), 10)
+	}
+	if e.Epoch >= 0 {
+		b = append(b, `,"epoch":`...)
+		b = strconv.AppendInt(b, int64(e.Epoch), 10)
+	}
+	if e.Code != 0 {
+		b = append(b, `,"code":`...)
+		b = strconv.AppendUint(b, e.Code, 10)
+	}
+	if e.Arg != 0 {
+		b = append(b, `,"arg":`...)
+		b = strconv.AppendUint(b, e.Arg, 10)
+	}
+	if e.Note != "" {
+		b = append(b, `,"note":`...)
+		b = strconv.AppendQuote(b, e.Note)
+	}
+	return append(b, '}')
+}
+
+// Probe receives structured events. Implementations must be cheap:
+// emission sites sit on interrupt/exception paths.
+type Probe interface {
+	Emit(Event)
+}
+
+// Collector is the standard Probe: it buffers the event stream in
+// emission order and folds each event into a metrics registry. A
+// Collector is single-goroutine (one per replica or per system); the
+// cluster merges collectors deterministically in replica order.
+type Collector struct {
+	// Replica and Epoch tag incoming events that carry no scope of
+	// their own (machine-level emissions). -1 leaves events unscoped.
+	Replica int
+	Epoch   int
+	// Metrics is the registry events are folded into.
+	Metrics *Metrics
+
+	events []Event
+}
+
+// NewCollector returns an unscoped collector with a fresh registry.
+func NewCollector() *Collector {
+	return &Collector{Replica: -1, Epoch: -1, Metrics: NewMetrics()}
+}
+
+// Emit buffers the event and updates the metrics registry.
+func (c *Collector) Emit(e Event) {
+	if e.Replica < 0 {
+		e.Replica = c.Replica
+	}
+	if e.Epoch < 0 {
+		e.Epoch = c.Epoch
+	}
+	c.events = append(c.events, e)
+	c.observe(e)
+}
+
+// Append splices pre-scoped events verbatim WITHOUT folding them into
+// the metrics registry. The cluster coordinator uses it for drained
+// replica buffers: those events were already folded into the replicas'
+// own registries, which are aggregated separately via Metrics.Merge in
+// replica order.
+func (c *Collector) Append(events ...Event) {
+	c.events = append(c.events, events...)
+}
+
+// observe folds one event into the metrics registry.
+func (c *Collector) observe(e Event) {
+	m := c.Metrics
+	switch e.Type {
+	case TypeNMI:
+		m.Inc("machine.nmis")
+	case TypeIRQ:
+		m.Inc("machine.irqs")
+	case TypeException:
+		m.Inc("machine.exceptions")
+	case TypeReset:
+		m.Inc("machine.resets")
+	case TypeFaultInjected:
+		m.Inc("faults.injected")
+	case TypeReinstallStarted:
+		m.Inc("stabilizer.reinstalls_started")
+	case TypeReinstallCompleted:
+		m.Inc("stabilizer.reinstalls")
+	case TypePredicateEval:
+		m.Inc("stabilizer.predicate_evals")
+	case TypePredicateFailed:
+		m.Inc("stabilizer.predicate_failures")
+	case TypePredicateRepaired:
+		m.Inc("stabilizer.repairs")
+	case TypeLegalityRegained:
+		m.Observe("stabilization.steps_to_legal", e.Code)
+	case TypeReplicaEvicted:
+		m.Inc("cluster.evictions")
+		if e.Replica >= 0 {
+			m.Inc("replica." + strconv.Itoa(e.Replica) + ".evictions")
+		}
+	case TypeVoteTally:
+		m.Inc("cluster.epochs")
+		if e.Note == "legal" {
+			m.Inc("cluster.legal_epochs")
+		}
+	}
+}
+
+// Events returns the buffered stream in emission order.
+func (c *Collector) Events() []Event { return c.events }
+
+// Drain returns the buffered events and clears the buffer (metrics are
+// untouched — they aggregate over the collector's whole lifetime).
+func (c *Collector) Drain() []Event {
+	out := c.events
+	c.events = nil
+	return out
+}
+
+// WriteJSONL writes the buffered events as JSON lines.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, c.events)
+}
+
+// WriteJSONL renders events one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	var buf []byte
+	for _, e := range events {
+		buf = e.AppendJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -16,12 +16,21 @@ import (
 	"sync"
 )
 
+// Workers, when positive, overrides the worker count (normally
+// GOMAXPROCS). The CLIs expose it as -workers; by the determinism
+// contract above, any setting produces identical observable results —
+// the flag only trades wall-clock time for parallelism.
+var Workers int
+
 // ForEach runs n independent jobs across worker goroutines and then
 // calls collect once per job, in index order, on the caller's
 // goroutine. run must be safe to call concurrently for distinct
 // indices; collect (which may be nil) is never called concurrently.
 func ForEach(n int, run func(i int) interface{}, collect func(i int, result interface{})) {
 	workers := runtime.GOMAXPROCS(0)
+	if Workers > 0 {
+		workers = Workers
+	}
 	if workers > n {
 		workers = n
 	}

@@ -209,3 +209,74 @@ func TestRecordedStepText(t *testing.T) {
 		t.Fatalf("exception text: %q", e.Text())
 	}
 }
+
+// Ring wrap-around, exactly: with depth d and n > d recorded steps, the
+// retained window must be precisely the last d step numbers, oldest
+// first — no off-by-one at the wrap seam.
+func TestRecorderWrapExactSteps(t *testing.T) {
+	bus := mem.NewBus()
+	bus.Poke(0x1000, byte(isa.OpJmp)) // jmp 0 loop
+	m := machine.New(bus, machine.Options{ResetVector: machine.SegOff{Seg: 0x0100, Off: 0}})
+	r := NewRecorder(m, 4)
+	m.AfterStep = r.Observe
+	m.Run(7) // 7 > 4: the ring has wrapped, discarding the first 3
+	last := r.Last()
+	if len(last) != 4 {
+		t.Fatalf("ring length %d", len(last))
+	}
+	end := m.Stats.Steps
+	for i, e := range last {
+		if want := end - 3 + uint64(i); e.Step != want {
+			t.Fatalf("retained[%d].Step = %d, want %d (window %d..%d)", i, e.Step, want, end-3, end)
+		}
+	}
+	// One more step must slide the window by exactly one.
+	m.Run(1)
+	if got := r.Last()[0].Step; got != end-2 {
+		t.Fatalf("window did not slide: oldest = %d, want %d", got, end-2)
+	}
+}
+
+// Range boundaries: Start is inclusive, End is exclusive.
+func TestRangeBoundaries(t *testing.T) {
+	r := Range{Name: "r", Start: 0x1000, End: 0x1010}
+	cases := []struct {
+		addr uint32
+		in   bool
+	}{
+		{0x0FFF, false}, // one below start
+		{0x1000, true},  // start itself
+		{0x100F, true},  // last interior address
+		{0x1010, false}, // end itself
+		{0x1011, false}, // one past end
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.addr); got != c.in {
+			t.Errorf("Contains(%#x) = %v, want %v", c.addr, got, c.in)
+		}
+	}
+}
+
+// The same boundaries, observed through a running machine: adjacent
+// one-byte ranges split a nop straddle-free, so an instruction at an
+// End address must be charged to the next range, never to the one it
+// bounds.
+func TestPCSamplerBoundaryAttribution(t *testing.T) {
+	bus := mem.NewBus()
+	bus.Poke(0x1000, byte(isa.OpNop)) // executes at 0x1000
+	bus.Poke(0x1001, byte(isa.OpNop)) // executes at 0x1001
+	bus.Poke(0x1002, byte(isa.OpJmp)) // back to 0
+	m := machine.New(bus, machine.Options{ResetVector: machine.SegOff{Seg: 0x0100, Off: 0}})
+	s := NewPCSampler(
+		Range{Name: "a", Start: 0x1000, End: 0x1001},
+		Range{Name: "b", Start: 0x1001, End: 0x1002},
+	)
+	m.AfterStep = s.Observe
+	m.Run(9) // three full loop iterations
+	if s.Counts[0] != 3 || s.Counts[1] != 3 {
+		t.Fatalf("boundary attribution: a=%d b=%d other=%d", s.Counts[0], s.Counts[1], s.Other)
+	}
+	if s.Other != 3 { // the jmp at 0x1002 lies in neither range
+		t.Fatalf("jmp accounting: other=%d", s.Other)
+	}
+}
