@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ssos/internal/expt"
@@ -28,8 +30,22 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write figure CSV (and JSON) data into")
 	only := flag.String("only", "", "run only the experiment with this ID (e.g. E5)")
 	workers := flag.Int("workers", 0, "worker pool size override (0 = GOMAXPROCS); results are identical for any setting")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 	pool.Workers = *workers
+
+	if *cpuprofile != "" {
+		stop, err := startCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssos-bench:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	if *memprofile != "" {
+		defer writeHeapProfile(*memprofile)
+	}
 
 	o := expt.Options{Quick: *quick, Trials: *trials, Seed: *seed}
 
@@ -79,6 +95,38 @@ func main() {
 			}
 			fmt.Fprintln(os.Stderr, "wrote", jpath)
 		}
+	}
+}
+
+// startCPUProfile begins CPU profiling into path and returns the stop
+// function. Note the error exits elsewhere in main bypass deferred
+// stops; profiles are complete only for successful runs.
+func startCPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeHeapProfile records the live-heap profile at exit.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssos-bench:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // settle the heap so the profile reflects live objects
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "ssos-bench:", err)
 	}
 }
 

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ssos/internal/core"
 	"ssos/internal/fault"
@@ -54,8 +56,22 @@ func main() {
 	eventsOut := flag.String("events-out", "", "write the structured event stream as JSONL to this file")
 	metricsOut := flag.String("metrics-out", "", "write the stabilization metrics as JSON to this file")
 	workers := flag.Int("workers", 0, "worker pool size override (0 = GOMAXPROCS); results are identical for any setting")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 	pool.Workers = *workers
+
+	if *cpuprofile != "" {
+		stop, err := startCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssos-run:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	if *memprofile != "" {
+		defer writeHeapProfile(*memprofile)
+	}
 
 	a, ok := approaches[*approach]
 	if !ok {
@@ -153,6 +169,38 @@ func main() {
 		if *metricsOut != "" {
 			writeOut(*metricsOut, col.Metrics.WriteJSON)
 		}
+	}
+}
+
+// startCPUProfile begins CPU profiling into path and returns the stop
+// function. Note the error exits elsewhere in main bypass deferred
+// stops; profiles are complete only for successful runs.
+func startCPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeHeapProfile records the live-heap profile at exit.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssos-run:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // settle the heap so the profile reflects live objects
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "ssos-run:", err)
 	}
 }
 

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"ssos/internal/core"
+)
+
+// TestClusterDigestsWithDecodeCacheOnOff runs the same cluster twice —
+// once with the replicas' predecoded instruction caches enabled (the
+// default) and once with them disabled before every epoch — and
+// requires identical voting history: every EpochStat (including the
+// winning state digests) and every reconfiguration event. Replica
+// digests summarize full machine state, so this pins the cache's
+// bit-identical-execution guarantee at cluster scale, under the
+// cluster's own strike schedule and per-replica fault injectors.
+func TestClusterDigestsWithDecodeCacheOnOff(t *testing.T) {
+	const epochs = 6
+	run := func(disableCache bool) ([]EpochStat, []Event) {
+		c := MustNew(Config{
+			Replicas: 3,
+			Approach: core.ApproachReinstall,
+			Seed:     77,
+			Faults:   ModeBitflip,
+		})
+		for e := 0; e < epochs; e++ {
+			if disableCache {
+				// Reinstalled/evicted replicas come back as fresh
+				// machines with the cache re-enabled, so disable again
+				// at every epoch boundary.
+				for _, r := range c.replicas {
+					r.sys.M.SetDecodeCache(false)
+				}
+			}
+			c.Run(1)
+		}
+		return c.Stats, c.Events
+	}
+
+	statsOn, eventsOn := run(false)
+	statsOff, eventsOff := run(true)
+	if !reflect.DeepEqual(statsOn, statsOff) {
+		t.Fatalf("epoch stats diverged between cache on/off:\n  on: %+v\n off: %+v",
+			statsOn, statsOff)
+	}
+	if !reflect.DeepEqual(eventsOn, eventsOff) {
+		t.Fatalf("reconfiguration events diverged between cache on/off:\n  on: %+v\n off: %+v",
+			eventsOn, eventsOff)
+	}
+	for i, st := range statsOn {
+		if st.Digest == 0 {
+			t.Fatalf("epoch %d: zero digest (no cluster output?)", i)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ssos/internal/isa"
+	"ssos/internal/mem"
+	"ssos/internal/obs"
+)
+
+// The differential harness for the predecoded instruction cache: a
+// cache-enabled and a cache-disabled machine are driven in lockstep —
+// same guest, same randomized initial configuration, same injected
+// faults at the same steps — and must agree on every observable at
+// every step. This is the soundness argument for the fast path made
+// executable: from ANY initial configuration, under active fault
+// injection, serving a cached decode must be bit-identical to
+// re-decoding from memory.
+
+// diffPair is one lockstep pair of systems.
+type diffPair struct {
+	fast, slow *System
+	colF, colS *obs.Collector
+}
+
+func newDiffPair(t *testing.T, ap Approach) *diffPair {
+	t.Helper()
+	p := &diffPair{
+		fast: MustNew(Config{Approach: ap}),
+		slow: MustNew(Config{Approach: ap}),
+		colF: obs.NewCollector(),
+		colS: obs.NewCollector(),
+	}
+	p.slow.M.SetDecodeCache(false)
+	p.fast.Instrument(p.colF)
+	p.slow.Instrument(p.colS)
+	return p
+}
+
+// pokeBoth writes the same byte to the same address on both buses.
+func (p *diffPair) pokeBoth(addr uint32, v byte) {
+	p.fast.M.Bus.PokeRAM(addr, v)
+	p.slow.M.Bus.PokeRAM(addr, v)
+}
+
+// injectSame applies one identical random fault to both machines. The
+// menu mirrors the fault package's corruption classes but is applied
+// symmetrically, which a per-machine Injector cannot do.
+func (p *diffPair) injectSame(rng *rand.Rand) {
+	mf, ms := p.fast.M, p.slow.M
+	switch rng.Intn(8) {
+	case 0: // RAM bit flip — the classic transient fault
+		a := uint32(rng.Intn(mem.AddrSpace))
+		v := p.fast.M.Bus.Peek(a) ^ (1 << uint(rng.Intn(8)))
+		p.pokeBoth(a, v)
+	case 1: // burst of byte corruptions
+		for i := 0; i < 16; i++ {
+			p.pokeBoth(uint32(rng.Intn(mem.AddrSpace)), byte(rng.Intn(256)))
+		}
+	case 2:
+		v := uint16(rng.Intn(1 << 16))
+		mf.CPU.IP, ms.CPU.IP = v, v
+	case 3:
+		r := isa.SReg(rng.Intn(int(isa.NumSRegs)))
+		v := uint16(rng.Intn(1 << 16))
+		mf.CPU.S[r], ms.CPU.S[r] = v, v
+	case 4:
+		v := isa.Flags(rng.Intn(1 << 16))
+		mf.CPU.Flags, ms.CPU.Flags = v, v
+	case 5:
+		v := uint16(rng.Intn(1 << 16))
+		mf.CPU.NMICounter, ms.CPU.NMICounter = v, v
+	case 6:
+		mf.RaiseNMI()
+		ms.RaiseNMI()
+	case 7:
+		v := rng.Intn(2) == 0
+		mf.CPU.Halted, ms.CPU.Halted = v, v
+	}
+}
+
+// compare asserts that every observable of the pair is identical.
+func (p *diffPair) compare(t *testing.T, tag string) {
+	t.Helper()
+	if p.fast.M.CPU != p.slow.M.CPU {
+		t.Fatalf("%s: CPU diverged:\n cached: %+v\nuncached: %+v", tag, p.fast.M.CPU, p.slow.M.CPU)
+	}
+	if p.fast.M.Stats != p.slow.M.Stats {
+		t.Fatalf("%s: stats diverged:\n cached: %v\nuncached: %v", tag, p.fast.M.Stats, p.slow.M.Stats)
+	}
+	if !bytes.Equal(p.fast.M.Bus.Snapshot(), p.slow.M.Bus.Snapshot()) {
+		t.Fatalf("%s: memory images diverged", tag)
+	}
+	if !reflect.DeepEqual(p.colF.Events(), p.colS.Events()) {
+		t.Fatalf("%s: observability event streams diverged (%d vs %d events)",
+			tag, len(p.colF.Events()), len(p.colS.Events()))
+	}
+	if p.fast.Heartbeat != nil {
+		wf, ws := p.fast.Heartbeat.Writes(), p.slow.Heartbeat.Writes()
+		if !reflect.DeepEqual(wf, ws) {
+			t.Fatalf("%s: heartbeat streams diverged (%d vs %d writes)", tag, len(wf), len(ws))
+		}
+	}
+}
+
+// TestDecodeCacheDifferential runs cached and uncached machines in
+// lockstep under continuous fault injection, for every transferable
+// kernel approach, from both the clean boot state and fully randomized
+// RAM + CPU configurations.
+func TestDecodeCacheDifferential(t *testing.T) {
+	steps := 40000
+	trials := 4
+	if testing.Short() {
+		steps, trials = 8000, 2
+	}
+	for _, ap := range []Approach{ApproachBaseline, ApproachReinstall, ApproachMonitor} {
+		for trial := 0; trial < trials; trial++ {
+			p := newDiffPair(t, ap)
+			rng := rand.New(rand.NewSource(int64(9000 + 100*int(ap) + trial)))
+
+			if trial%2 == 1 {
+				// Any-state start: identical random soup in every RAM
+				// byte (PokeRAM skips ROM on both alike) and a random
+				// CPU configuration.
+				for a := 0; a < mem.AddrSpace; a++ {
+					p.pokeBoth(uint32(a), byte(rng.Intn(256)))
+				}
+				cpu := p.fast.M.CPU
+				for i := range cpu.R {
+					cpu.R[i] = uint16(rng.Intn(1 << 16))
+				}
+				for i := range cpu.S {
+					cpu.S[i] = uint16(rng.Intn(1 << 16))
+				}
+				cpu.IP = uint16(rng.Intn(1 << 16))
+				cpu.Flags = isa.Flags(rng.Intn(1 << 16))
+				cpu.NMICounter = uint16(rng.Intn(1 << 16))
+				p.fast.M.CPU, p.slow.M.CPU = cpu, cpu
+			}
+
+			for i := 0; i < steps; i++ {
+				if rng.Intn(101) == 0 {
+					p.injectSame(rng)
+				}
+				evF, evS := p.fast.M.Step(), p.slow.M.Step()
+				if evF != evS {
+					t.Fatalf("approach %v trial %d step %d: event diverged: cached=%v uncached=%v",
+						ap, trial, i, evF, evS)
+				}
+			}
+			p.compare(t, ap.String()+"/final")
+		}
+	}
+}
+
+// TestDecodeCacheDifferentialSelfModifying pins the hardest staleness
+// case deliberately rather than probabilistically: the guest's own
+// stores land on top of upcoming instructions (a store to cs:ip+k),
+// so a stale cache entry would execute the overwritten instruction.
+func TestDecodeCacheDifferentialSelfModifying(t *testing.T) {
+	p := newDiffPair(t, ApproachBaseline)
+	rng := rand.New(rand.NewSource(4242))
+	code := uint32(0x0100) << 4 // default kernel image segment
+	for i := 0; i < 30000; i++ {
+		if i%7 == 0 {
+			// Overwrite a byte right around the current instruction
+			// stream of the cached machine.
+			lin := (uint32(p.fast.M.CPU.S[isa.CS])<<4 + uint32(p.fast.M.CPU.IP) + uint32(rng.Intn(8))) & mem.AddrMask
+			p.pokeBoth(lin, byte(rng.Intn(256)))
+		}
+		if i%13 == 0 {
+			p.pokeBoth(code+uint32(rng.Intn(256)), byte(rng.Intn(256)))
+		}
+		evF, evS := p.fast.M.Step(), p.slow.M.Step()
+		if evF != evS {
+			t.Fatalf("step %d: event diverged: cached=%v uncached=%v", i, evF, evS)
+		}
+	}
+	p.compare(t, "self-modifying/final")
+}

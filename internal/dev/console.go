@@ -7,6 +7,13 @@ type PortWrite struct {
 	Value uint16
 }
 
+// consoleChunk is the allocation unit of the unbounded console log.
+// Appending into fixed-capacity chunks keeps the per-write cost O(1)
+// with no large re-copies: a growing flat slice would move the whole
+// history on every growth step, which profiles as the dominant cost of
+// long fault-free runs.
+const consoleChunk = 1 << 12
+
 // Console is an output-port device that records everything the guest
 // writes. Guests use it for heartbeats and telemetry; monitors inspect
 // the recorded stream to decide whether the system behaves according to
@@ -23,7 +30,13 @@ type Console struct {
 	// from guest output (heartbeats, repair reports).
 	OnWrite func(step uint64, v uint16)
 
-	writes  []PortWrite
+	// Max == 0: chunked append-only log.
+	chunks [][]PortWrite
+	// Max > 0: fixed-size ring holding the newest Max writes; start
+	// indexes the oldest entry once the ring is full.
+	ring  []PortWrite
+	start int
+
 	total   uint64
 	dropped uint64
 }
@@ -43,22 +56,55 @@ func (c *Console) Out(_ uint16, v uint16) {
 	if c.Clock != nil {
 		step = c.Clock()
 	}
-	c.writes = append(c.writes, PortWrite{Step: step, Value: v})
-	c.total++
-	if c.Max > 0 && len(c.writes) > c.Max {
-		drop := len(c.writes) - c.Max
-		c.writes = append(c.writes[:0], c.writes[drop:]...)
-		c.dropped += uint64(drop)
+	w := PortWrite{Step: step, Value: v}
+	if c.Max > 0 {
+		if len(c.ring) < c.Max {
+			c.ring = append(c.ring, w)
+		} else {
+			c.ring[c.start] = w
+			c.start++
+			if c.start == len(c.ring) {
+				c.start = 0
+			}
+			c.dropped++
+		}
+	} else {
+		n := len(c.chunks) - 1
+		if n < 0 || len(c.chunks[n]) == cap(c.chunks[n]) {
+			c.chunks = append(c.chunks, make([]PortWrite, 0, consoleChunk))
+			n++
+		}
+		c.chunks[n] = append(c.chunks[n], w)
 	}
+	c.total++
 	if c.OnWrite != nil {
 		c.OnWrite(step, v)
 	}
 }
 
+// retained returns the number of writes currently held.
+func (c *Console) retained() int {
+	if c.Max > 0 {
+		return len(c.ring)
+	}
+	n := 0
+	for _, ch := range c.chunks {
+		n += len(ch)
+	}
+	return n
+}
+
 // Writes returns the retained writes in order.
 func (c *Console) Writes() []PortWrite {
-	out := make([]PortWrite, len(c.writes))
-	copy(out, c.writes)
+	out := make([]PortWrite, 0, c.retained())
+	if c.Max > 0 {
+		out = append(out, c.ring[c.start:]...)
+		out = append(out, c.ring[:c.start]...)
+		return out
+	}
+	for _, ch := range c.chunks {
+		out = append(out, ch...)
+	}
 	return out
 }
 
@@ -70,15 +116,29 @@ func (c *Console) Dropped() uint64 { return c.dropped }
 
 // Reset discards all recorded writes and counters.
 func (c *Console) Reset() {
-	c.writes = c.writes[:0]
+	c.chunks = nil
+	c.ring = nil
+	c.start = 0
 	c.total = 0
 	c.dropped = 0
 }
 
 // Last returns the most recent write, if any.
 func (c *Console) Last() (PortWrite, bool) {
-	if len(c.writes) == 0 {
+	if c.Max > 0 {
+		if len(c.ring) == 0 {
+			return PortWrite{}, false
+		}
+		i := c.start - 1
+		if i < 0 {
+			i = len(c.ring) - 1
+		}
+		return c.ring[i], true
+	}
+	n := len(c.chunks) - 1
+	if n < 0 {
 		return PortWrite{}, false
 	}
-	return c.writes[len(c.writes)-1], true
+	ch := c.chunks[n]
+	return ch[len(ch)-1], true
 }

@@ -1,6 +1,7 @@
 package isa
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -342,5 +343,45 @@ func TestInvalidRegisterStrings(t *testing.T) {
 	}
 	if Reg(200).Valid() || SReg(200).Valid() || Reg8(200).Valid() {
 		t.Error("out-of-range registers reported valid")
+	}
+}
+
+// TestInstLenCacheabilityContract verifies the contract InstLen
+// documents for the machine's predecoded instruction cache: for every
+// possible first byte, Decode's result is a pure function of the bytes
+// [0, InstLen(b)) — trailing bytes never matter — and the decoded size
+// equals InstLen for every accepted instruction.
+func TestInstLenCacheabilityContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for b0 := 0; b0 < 256; b0++ {
+		n := InstLen(byte(b0))
+		if n < 0 || n > MaxInstrSize {
+			t.Fatalf("InstLen(%#02x) = %d out of range", b0, n)
+		}
+		for trial := 0; trial < 64; trial++ {
+			var bufA, bufB [MaxInstrSize]byte
+			bufA[0], bufB[0] = byte(b0), byte(b0)
+			for i := 1; i < MaxInstrSize; i++ {
+				v := byte(rng.Intn(256))
+				bufA[i] = v
+				if i < n {
+					bufB[i] = v // shared prefix [0, InstLen)
+				} else {
+					bufB[i] = v ^ byte(rng.Intn(255)+1) // differing tail
+				}
+			}
+			inA, szA, okA := Decode(bufA[:])
+			inB, szB, okB := Decode(bufB[:])
+			if inA != inB || szA != szB || okA != okB {
+				t.Fatalf("Decode(%#02x...) depends on bytes beyond InstLen=%d:\n %v %d %v\n %v %d %v",
+					b0, n, inA, szA, okA, inB, szB, okB)
+			}
+			if okA && szA != n {
+				t.Fatalf("opcode %#02x: decoded size %d != InstLen %d", b0, szA, n)
+			}
+			if n == 0 && okA {
+				t.Fatalf("opcode %#02x: InstLen 0 but Decode accepted it", b0)
+			}
+		}
 	}
 }

@@ -240,6 +240,17 @@ func (op Op) Shape() OperandShape { return instrTable[op].shape }
 // op, or 0 if op is invalid.
 func (op Op) Size() int { return int(instrTable[op].size) }
 
+// InstLen returns the full encoded length implied by an instruction's
+// first byte, or 0 when the byte is not a defined opcode.
+//
+// This is the cacheability contract the machine's predecoded
+// instruction cache is built on: encoded length is a pure function of
+// the first byte, and Decode's result depends on exactly the bytes
+// [0, InstLen(b[0])) — never on later bytes. A cached decode therefore
+// stays valid for as long as that byte range is unwritten, which the
+// memory bus tracks with page write-generations.
+func InstLen(b byte) int { return int(instrTable[b].size) }
+
 // Mnemonic returns the assembly mnemonic for op.
 func (op Op) Mnemonic() string {
 	if instrTable[op].valid {

@@ -1,0 +1,129 @@
+package machine
+
+import (
+	"ssos/internal/isa"
+	"ssos/internal/mem"
+)
+
+// The predecoded instruction cache.
+//
+// Every machine step re-runs fetch–decode on the bytes at cs:ip; for
+// the loops that dominate every experiment those bytes almost never
+// change, so the machine keeps a direct-mapped cache of decode results
+// keyed by the linear address of the instruction's first byte.
+//
+// Soundness from ANY configuration is the paper's constraint and the
+// design driver. A cached entry records the bus write-generation of
+// the page(s) holding its bytes at fill time (pages are mem.PageSize
+// bytes). Every path that can alter memory — executed stores, word
+// stores, test Pokes, fault-injection PokeRAMs, snapshot Restores —
+// bumps the generation of the pages it touches, so a hit is served
+// only when the backing bytes are provably unmodified since the fill.
+// There is no "flush" anyone could forget to call: staleness is
+// detected, not prevented, which makes the fast path bit-identical to
+// re-decoding from scratch regardless of how the configuration was
+// reached (self-modifying code, injected bit-flips, adopted snapshots).
+//
+// Entries are served only when neither the 16-bit segment offset nor
+// the 20-bit linear range of a maximal instruction wraps; the rare
+// wrapping fetches take the byte-wise slow path, whose semantics the
+// cache must (and does) reproduce exactly elsewhere.
+
+const (
+	// dcBits sizes the direct-mapped cache; 4096 entries cover every
+	// guest in the repo many times over while keeping the table small
+	// enough to stay hot.
+	dcBits = 12
+	dcSize = 1 << dcBits
+	dcMask = dcSize - 1
+)
+
+// dcEntry is one cached decode. tag holds the linear address of the
+// instruction's first byte plus one (0 = empty slot). gen0/gen1 are
+// the write-generations of the first and last byte's pages at fill
+// time (equal pages store the same value twice; comparing both is
+// cheaper than branching).
+type dcEntry struct {
+	// Probe-order layout: the hit test reads tag, size, gen0 and gen1,
+	// so they lead the struct and share a cache line; inst is only
+	// touched on a confirmed hit.
+	tag  uint32
+	size uint8
+	gen0 uint64
+	gen1 uint64
+	inst isa.Inst
+}
+
+// SetDecodeCache enables or disables the predecoded instruction cache.
+// The cache is on by default; disabling it forces every fetch through
+// the byte-wise slow path. Behaviour must be bit-identical either way
+// — the differential tests and fuzzer hold the two modes against each
+// other — so this exists for those tests and for A/B benchmarking, not
+// for correctness control.
+func (m *Machine) SetDecodeCache(on bool) {
+	if on {
+		if m.dcache == nil {
+			m.dcache = new([dcSize]dcEntry)
+		}
+	} else {
+		m.dcache = nil
+	}
+}
+
+// fetch reads and decodes the instruction at cs:ip, consulting the
+// predecoded cache. Offsets wrap within the 64 KiB segment as on real
+// hardware; wrapping fetches (and cache-disabled machines) take the
+// byte-wise slow path.
+func (m *Machine) fetch() (*isa.Inst, int, bool) {
+	ip := m.CPU.IP
+	lin := (uint32(m.CPU.S[isa.CS])<<4 + uint32(ip)) & mem.AddrMask
+	if m.dcache == nil ||
+		ip > 0x10000-isa.MaxInstrSize ||
+		lin > mem.AddrSpace-isa.MaxInstrSize {
+		return m.fetchSlow()
+	}
+	gens := m.pageGens
+	e := &m.dcache[lin&dcMask]
+	// Masking the last-byte index with AddrMask is a no-op for valid
+	// entries (lin+size-1 <= AddrMask on this path) but lets the
+	// compiler prove the index is in range, eliding the bounds check.
+	if e.tag == lin+1 &&
+		gens[lin>>mem.PageShift] == e.gen0 &&
+		gens[((lin+uint32(e.size)-1)&mem.AddrMask)>>mem.PageShift] == e.gen1 {
+		return &e.inst, int(e.size), true
+	}
+	in, size, ok := isa.Decode(m.Bus.View(lin, isa.MaxInstrSize))
+	if !ok {
+		// Invalid decodes are not cached: they are the exception path,
+		// and a failed decode may have examined fewer bytes than a
+		// generation range would have to cover.
+		m.slowInst = in
+		return &m.slowInst, size, false
+	}
+	e.tag = lin + 1
+	e.inst = in
+	e.size = uint8(size)
+	e.gen0 = gens[lin>>mem.PageShift]
+	e.gen1 = gens[(lin+uint32(size)-1)>>mem.PageShift]
+	return &e.inst, size, true
+}
+
+// fetchSlow is the byte-wise reference fetch path: it reads
+// MaxInstrSize bytes with full 16-bit segment-offset and 20-bit linear
+// wrap-around, exactly as the pre-cache machine did. The first byte
+// bounds the read via isa.InstLen, so short instructions cost
+// proportionally fewer bus loads.
+func (m *Machine) fetchSlow() (*isa.Inst, int, bool) {
+	var buf [isa.MaxInstrSize]byte
+	buf[0] = m.Bus.LoadByte(m.Linear(isa.CS, m.CPU.IP))
+	n := isa.InstLen(buf[0])
+	if n == 0 {
+		n = 1 // invalid opcode: Decode needs only the first byte
+	}
+	for i := 1; i < n; i++ {
+		buf[i] = m.Bus.LoadByte(m.Linear(isa.CS, m.CPU.IP+uint16(i)))
+	}
+	in, size, ok := isa.Decode(buf[:n])
+	m.slowInst = in
+	return &m.slowInst, size, ok
+}

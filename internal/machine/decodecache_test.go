@@ -1,0 +1,132 @@
+package machine
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ssos/internal/isa"
+	"ssos/internal/mem"
+)
+
+// newDiffMachines builds a cached and an uncached machine over
+// identical buses: a small ROM at the reset/NMI vector and otherwise
+// empty RAM. Both machines see the same options.
+func newDiffMachines(t testing.TB, opts Options) (fast, slow *Machine) {
+	t.Helper()
+	rom := []byte{byte(isa.OpJmp), 0, 0}
+	build := func() *Machine {
+		bus := mem.NewBus()
+		if _, err := bus.AddROM("rom", 0xF0000, rom); err != nil {
+			t.Fatal(err)
+		}
+		return New(bus, opts)
+	}
+	fast = build()
+	slow = build()
+	slow.SetDecodeCache(false)
+	return fast, slow
+}
+
+// stepBoth steps the pair once and asserts the events agree.
+func stepBoth(t testing.TB, fast, slow *Machine, tag string) {
+	t.Helper()
+	evF, evS := fast.Step(), slow.Step()
+	if evF != evS {
+		t.Fatalf("%s (step %d): event diverged: cached=%v uncached=%v",
+			tag, fast.Stats.Steps, evF, evS)
+	}
+}
+
+// compareMachines asserts full architectural-state agreement.
+func compareMachines(t testing.TB, fast, slow *Machine, tag string) {
+	t.Helper()
+	if fast.CPU != slow.CPU {
+		t.Fatalf("%s: CPU diverged:\n  cached: %+v\nuncached: %+v", tag, fast.CPU, slow.CPU)
+	}
+	if fast.Stats != slow.Stats {
+		t.Fatalf("%s: stats diverged:\n  cached: %v\nuncached: %v", tag, fast.Stats, slow.Stats)
+	}
+	if !bytes.Equal(fast.Bus.Snapshot(), slow.Bus.Snapshot()) {
+		t.Fatalf("%s: memory diverged", tag)
+	}
+}
+
+// TestDecodeCacheStosbOverwritesCachedInstruction pins the classic
+// stale-cache hazard with an exact program: an instruction is executed
+// (and so cached), then the guest's own stosb overwrites it, then it
+// is re-executed. The overwritten form must execute — a cache serving
+// the stale decode would run the old instruction.
+//
+//	0: nop      ; executed first, lands in the decode cache
+//	1: stosb    ; al=hlt -> es:di = cs:0, overwriting the nop
+//	2: jmp 0    ; back to the (now rewritten) slot
+func TestDecodeCacheStosbOverwritesCachedInstruction(t *testing.T) {
+	for _, cached := range []bool{true, false} {
+		bus := mem.NewBus()
+		if _, err := bus.AddROM("rom", 0xF0000, []byte{byte(isa.OpJmp), 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+		m := New(bus, Options{ResetVector: SegOff{0x0100, 0}})
+		m.SetDecodeCache(cached)
+		code := []byte{byte(isa.OpNop), byte(isa.OpStosb), byte(isa.OpJmp), 0, 0}
+		for i, b := range code {
+			bus.PokeRAM(0x1000+uint32(i), b)
+		}
+		m.CPU.R[isa.AX] = uint16(isa.OpHlt) // al = hlt
+		m.CPU.R[isa.DI] = 0
+		m.CPU.S[isa.ES] = 0x0100
+
+		// nop, stosb, jmp, then the rewritten slot: it must be hlt.
+		m.Run(4)
+		if !m.CPU.Halted {
+			t.Fatalf("cached=%v: stale decode served: machine did not execute "+
+				"the self-modified hlt (ip=%#x)", cached, m.CPU.IP)
+		}
+	}
+}
+
+// TestDecodeCacheGuestStoreDifferential drives cached vs uncached
+// machines through byte soup that is dense in store instructions, with
+// registers repeatedly pointed back at the code region so guest stores
+// (StoreByte and StoreWord paths, not just Poke) land on executed
+// instructions.
+func TestDecodeCacheGuestStoreDifferential(t *testing.T) {
+	storeOps := []isa.Op{isa.OpStosb, isa.OpMovsb, isa.OpRepMovsb, isa.OpMovMR, isa.OpMovMI}
+	rng := rand.New(rand.NewSource(31337))
+	for trial := 0; trial < 30; trial++ {
+		fast, slow := newDiffMachines(t, Options{ResetVector: SegOff{0x0100, 0}})
+		// Code soup biased toward stores, identical on both machines.
+		for i := 0; i < 2048; i++ {
+			var b byte
+			if rng.Intn(3) == 0 {
+				b = byte(storeOps[rng.Intn(len(storeOps))])
+			} else {
+				b = byte(rng.Intn(256))
+			}
+			a := 0x1000 + uint32(i)
+			fast.Bus.PokeRAM(a, b)
+			slow.Bus.PokeRAM(a, b)
+		}
+		for i := 0; i < 4000; i++ {
+			if i%97 == 0 {
+				// Re-aim the string/store registers at the code so the
+				// soup keeps rewriting itself.
+				seg, di, si := uint16(0x0100), uint16(rng.Intn(2048)), uint16(rng.Intn(2048))
+				ax := uint16(rng.Intn(1 << 16))
+				cx := uint16(rng.Intn(64))
+				ip := uint16(rng.Intn(2048))
+				for _, m := range []*Machine{fast, slow} {
+					m.CPU.S[isa.ES], m.CPU.S[isa.DS] = seg, seg
+					m.CPU.R[isa.DI], m.CPU.R[isa.SI] = di, si
+					m.CPU.R[isa.AX], m.CPU.R[isa.CX] = ax, cx
+					m.CPU.S[isa.CS] = seg
+					m.CPU.IP = ip
+					m.CPU.Halted = false
+				}
+			}
+			stepBoth(t, fast, slow, "guest-store soup")
+		}
+		compareMachines(t, fast, slow, "guest-store soup/final")
+	}
+}

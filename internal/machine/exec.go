@@ -14,23 +14,6 @@ func (m *Machine) execute() Event {
 	c := &m.CPU
 	nextIP := c.IP + uint16(size)
 
-	// Memory-operand effective offset (16-bit wrap within segment).
-	effOff := func() uint16 {
-		off := in.Mem.Disp
-		if r, useBase := in.Mem.Base.Reg(); useBase {
-			off += c.R[r]
-		}
-		return off
-	}
-	loadMem := func() uint16 { return m.LoadWord(in.Mem.Seg, effOff()) }
-	storeMem := func(v uint16) bool {
-		off := effOff()
-		if !m.storeAllowed(m.Linear(in.Mem.Seg, off)) {
-			return false
-		}
-		return m.StoreWord(in.Mem.Seg, off, v)
-	}
-
 	switch in.Op {
 	case isa.OpNop:
 	case isa.OpHlt:
@@ -73,19 +56,19 @@ func (m *Machine) execute() Event {
 	case isa.OpMovRS:
 		c.R[in.R1] = c.S[in.R2]
 	case isa.OpMovRM:
-		c.R[in.R1] = loadMem()
+		c.R[in.R1] = m.loadMem(in)
 	case isa.OpMovMR:
-		if !storeMem(c.R[in.R1]) {
+		if !m.storeMem(in, c.R[in.R1]) {
 			return m.raiseException(VecGP)
 		}
 	case isa.OpMovMI:
-		if !storeMem(in.Imm) {
+		if !m.storeMem(in, in.Imm) {
 			return m.raiseException(VecGP)
 		}
 	case isa.OpMovSM:
-		c.S[in.R1] = loadMem()
+		c.S[in.R1] = m.loadMem(in)
 	case isa.OpMovMS:
-		if !storeMem(c.S[in.R1]) {
+		if !m.storeMem(in, c.S[in.R1]) {
 			return m.raiseException(VecGP)
 		}
 	case isa.OpMovR8I:
@@ -98,7 +81,7 @@ func (m *Machine) execute() Event {
 	case isa.OpAddRI:
 		c.R[in.R1] = m.add16(c.R[in.R1], in.Imm)
 	case isa.OpAddRM:
-		c.R[in.R1] = m.add16(c.R[in.R1], loadMem())
+		c.R[in.R1] = m.add16(c.R[in.R1], m.loadMem(in))
 	case isa.OpSubRR:
 		c.R[in.R1] = m.sub16(c.R[in.R1], c.R[in.R2])
 	case isa.OpSubRI:
@@ -125,9 +108,9 @@ func (m *Machine) execute() Event {
 	case isa.OpCmpRI:
 		m.sub16(c.R[in.R1], in.Imm)
 	case isa.OpCmpRM:
-		m.sub16(c.R[in.R1], loadMem())
+		m.sub16(c.R[in.R1], m.loadMem(in))
 	case isa.OpLea:
-		c.R[in.R1] = effOff()
+		c.R[in.R1] = m.effOff(in)
 	case isa.OpMulR8:
 		// ax = al * r8; carry/overflow signal a non-zero high byte.
 		prod := uint16(c.Reg8(isa.AL)) * uint16(c.Reg8(isa.Reg8(in.R1)))
@@ -272,6 +255,33 @@ func (m *Machine) execute() Event {
 	return EventInstr
 }
 
+// effOff computes a memory operand's effective offset (16-bit wrap
+// within the segment). It and its siblings below are methods, not
+// per-execute closures, so the fetch–decode–execute hot loop stays
+// allocation-free.
+func (m *Machine) effOff(in *isa.Inst) uint16 {
+	off := in.Mem.Disp
+	if r, useBase := in.Mem.Base.Reg(); useBase {
+		off += m.CPU.R[r]
+	}
+	return off
+}
+
+// loadMem reads the 16-bit word addressed by in's memory operand.
+func (m *Machine) loadMem(in *isa.Inst) uint16 {
+	return m.LoadWord(in.Mem.Seg, m.effOff(in))
+}
+
+// storeMem writes v through in's memory operand, honouring the
+// memory-protection window and the ROM write policy.
+func (m *Machine) storeMem(in *isa.Inst, v uint16) bool {
+	off := m.effOff(in)
+	if !m.storeAllowed(m.Linear(in.Mem.Seg, off)) {
+		return false
+	}
+	return m.StoreWord(in.Mem.Seg, off, v)
+}
+
 // storeAllowed reports whether a data store to the linear address is
 // permitted under the memory-protection extension: always, unless the
 // option is on, FlagWP is set, and the executing code resides in RAM
@@ -323,9 +333,15 @@ func (m *Machine) stringAdvance(v uint16) uint16 {
 	return v + 1
 }
 
-// setZS updates the zero and sign flags from a result.
+// setZS updates the zero and sign flags from a result. The sign bit is
+// shifted into place rather than tested: this runs once per ALU
+// instruction, so it stays branch-light.
 func (m *Machine) setZS(v uint16) {
-	m.CPU.Flags = m.CPU.Flags.Set(isa.FlagZF, v == 0).Set(isa.FlagSF, v&0x8000 != 0)
+	f := m.CPU.Flags&^(isa.FlagZF|isa.FlagSF) | isa.Flags(v>>13)&isa.FlagSF
+	if v == 0 {
+		f |= isa.FlagZF
+	}
+	m.CPU.Flags = f
 }
 
 // logic16 sets flags for a bitwise result (clears CF/OF) and returns it.

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
@@ -60,6 +61,99 @@ func TestRandomProgramsNeverWedgeTheStepper(t *testing.T) {
 			}
 		}
 	}
+}
+
+// FuzzDecodeCacheDifferential drives a cached and an uncached machine
+// in lockstep from a fuzz-chosen byte program: interleaved guest steps,
+// direct bus stores, PokeRAM fault injections and CPU corruptions, all
+// applied identically to both. The decode cache must never serve a
+// stale instruction, so the two machines must agree on every event and
+// end bit-identical.
+func FuzzDecodeCacheDifferential(f *testing.F) {
+	// Seeds: plain stepping, self-modifying stosb soup, store-then-step
+	// interleavings, and fault-heavy schedules.
+	f.Add([]byte{1, 40, 1, 40})
+	f.Add([]byte{0, 0x10, 0x02, byte(isa.OpHlt), 1, 8, 0, 0x11, 0x02, byte(isa.OpStosb), 1, 8})
+	f.Add([]byte{2, 0x00, 0x10, 1, 20, 3, 0x34, 0x12, 1, 20, 4, 1, 20, 6, 1, 20})
+	f.Add(bytes.Repeat([]byte{0, 0xAB, 0x05, 0x62, 1, 3}, 24))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fast, slow := newDiffMachines(t, Options{
+			ResetVector:     SegOff{0x0100, 0},
+			NMICounter:      true,
+			ExceptionPolicy: ExceptionVector,
+			ExceptionVector: SegOff{0xF000, 0},
+		})
+		// Deterministic pseudo-random background soup so short fuzz
+		// inputs still execute something.
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 1024; i++ {
+			v := byte(rng.Intn(256))
+			fast.Bus.PokeRAM(0x1000+uint32(i), v)
+			slow.Bus.PokeRAM(0x1000+uint32(i), v)
+		}
+
+		pop := func() (byte, bool) {
+			if len(data) == 0 {
+				return 0, false
+			}
+			b := data[0]
+			data = data[1:]
+			return b, true
+		}
+		steps := 0
+		for steps < 50000 {
+			op, ok := pop()
+			if !ok {
+				break
+			}
+			switch op % 7 {
+			case 0: // poke a byte near the code region (fault injection)
+				lo, _ := pop()
+				hi, _ := pop()
+				v, _ := pop()
+				addr := 0x1000 + (uint32(hi)<<8|uint32(lo))&0x0FFF
+				fast.Bus.PokeRAM(addr, v)
+				slow.Bus.PokeRAM(addr, v)
+			case 1: // run a batch of steps, comparing events each step
+				n, _ := pop()
+				for i := 0; i < int(n%64)+1; i++ {
+					stepBoth(t, fast, slow, "fuzz")
+					steps++
+				}
+			case 2: // corrupt IP
+				lo, _ := pop()
+				hi, _ := pop()
+				v := uint16(hi)<<8 | uint16(lo)
+				fast.CPU.IP, slow.CPU.IP = v, v
+			case 3: // corrupt a register bank entry
+				r, _ := pop()
+				lo, _ := pop()
+				v := uint16(lo) | uint16(r)<<8
+				i := isa.Reg(r) % isa.NumRegs
+				fast.CPU.R[i], slow.CPU.R[i] = v, v
+			case 4: // raise NMI on both
+				fast.RaiseNMI()
+				slow.RaiseNMI()
+			case 5: // direct word store via the bus (DMA-style)
+				lo, _ := pop()
+				hi, _ := pop()
+				v, _ := pop()
+				addr := 0x1000 + (uint32(hi)<<8|uint32(lo))&0x0FFF
+				fast.Bus.StoreWord(addr, uint16(v)|uint16(v)<<8)
+				slow.Bus.StoreWord(addr, uint16(v)|uint16(v)<<8)
+			case 6: // toggle halt latch
+				v, _ := pop()
+				h := v%2 == 0
+				fast.CPU.Halted, slow.CPU.Halted = h, h
+			}
+		}
+		// Drain: a final burst so late mutations get executed.
+		for i := 0; i < 256; i++ {
+			stepBoth(t, fast, slow, "fuzz drain")
+		}
+		compareMachines(t, fast, slow, "fuzz final")
+	})
 }
 
 // TestRandomFaultStormOnEveryApproachSubstrate hammers a single machine

@@ -155,6 +155,14 @@ type Ticker interface {
 	Tick(m *Machine)
 }
 
+// Pin bits for Machine.pins: latched external events awaiting the
+// processor's attention.
+const (
+	pinNMI uint8 = 1 << iota
+	pinReset
+	pinIRQ
+)
+
 // Machine is the full system: processor, memory and devices.
 type Machine struct {
 	CPU   CPU
@@ -162,13 +170,25 @@ type Machine struct {
 	Opts  Options
 	Stats Stats
 
-	nmiPin   bool
-	resetPin bool
-	irqPin   bool
-	irqVec   uint8
+	// pins latches pending external events (pin* bits). A single
+	// bitmask lets the step loop rule out all three with one compare.
+	pins   uint8
+	irqVec uint8
 
-	ports   map[uint16]PortDevice
+	// ports maps I/O ports to devices. Machines carry a handful of
+	// ports at most, so a linear scan beats a map hash on the
+	// per-instruction in/out path.
+	ports   []portBinding
 	tickers []Ticker
+
+	// dcache is the predecoded instruction cache (decodecache.go);
+	// nil when disabled via SetDecodeCache. pageGens is the bus's
+	// write-generation array, cached so a probe is two array loads.
+	// slowInst is the scratch slot uncached decodes land in, so the
+	// hot loop never allocates.
+	dcache   *[dcSize]dcEntry
+	pageGens *[mem.NumPages]uint64
+	slowInst isa.Inst
 
 	// AfterStep, when non-nil, is invoked after every step with the
 	// event that occurred. Monitors and fault injectors hook here.
@@ -187,7 +207,12 @@ func New(bus *mem.Bus, opts Options) *Machine {
 	if opts.NMICounterMax == 0 {
 		opts.NMICounterMax = 4096
 	}
-	m := &Machine{Bus: bus, Opts: opts, ports: make(map[uint16]PortDevice)}
+	m := &Machine{
+		Bus:      bus,
+		Opts:     opts,
+		dcache:   new([dcSize]dcEntry),
+		pageGens: bus.PageGens(),
+	}
 	m.Reset()
 	return m
 }
@@ -199,34 +224,46 @@ func (m *Machine) Reset() {
 	m.CPU = CPU{}
 	m.CPU.S[isa.CS] = m.Opts.ResetVector.Seg
 	m.CPU.IP = m.Opts.ResetVector.Off
-	m.nmiPin = false
-	m.resetPin = false
-	m.irqPin = false
+	m.pins = 0
 }
 
 // AddTicker registers a clock-driven device.
 func (m *Machine) AddTicker(t Ticker) { m.tickers = append(m.tickers, t) }
 
+// portBinding ties one I/O port to its device.
+type portBinding struct {
+	port uint16
+	dev  PortDevice
+}
+
 // MapPort maps an I/O port to a device. Mapping a port twice replaces
 // the previous device.
-func (m *Machine) MapPort(port uint16, d PortDevice) { m.ports[port] = d }
+func (m *Machine) MapPort(port uint16, d PortDevice) {
+	for i := range m.ports {
+		if m.ports[i].port == port {
+			m.ports[i].dev = d
+			return
+		}
+	}
+	m.ports = append(m.ports, portBinding{port: port, dev: d})
+}
 
 // RaiseNMI latches the NMI pin. The pin stays set until the NMI is
 // delivered (level-triggered latch, as the paper's watchdog assumes).
-func (m *Machine) RaiseNMI() { m.nmiPin = true }
+func (m *Machine) RaiseNMI() { m.pins |= pinNMI }
 
 // NMIPending reports whether an NMI is latched but not yet delivered.
-func (m *Machine) NMIPending() bool { return m.nmiPin }
+func (m *Machine) NMIPending() bool { return m.pins&pinNMI != 0 }
 
 // RaiseReset latches the reset pin; the next step performs a hardware
 // reset. The paper's first two schemes may wire the watchdog here
 // instead of to NMI.
-func (m *Machine) RaiseReset() { m.resetPin = true }
+func (m *Machine) RaiseReset() { m.pins |= pinReset }
 
 // RaiseIRQ latches a maskable interrupt with the given IDT vector. It
 // is delivered when FlagIF is set.
 func (m *Machine) RaiseIRQ(vec uint8) {
-	m.irqPin = true
+	m.pins |= pinIRQ
 	m.irqVec = vec
 }
 
@@ -245,9 +282,17 @@ func (m *Machine) Linear(seg isa.SReg, off uint16) uint32 {
 }
 
 // LoadWord reads the 16-bit word at seg:off.
+//
+// The two bytes are addressed with 16-bit offset wrap-around within
+// the segment, as on real-mode hardware. Unless the offset wraps
+// (off == 0xFFFF), the second byte's linear address is the first's
+// plus one modulo the address space — exactly what the bus's fused
+// word load computes — so the common case does one call instead of
+// two byte loads with separate segment arithmetic.
 func (m *Machine) LoadWord(seg isa.SReg, off uint16) uint16 {
-	// The two bytes are addressed with 16-bit offset wrap-around
-	// within the segment, as on real-mode hardware.
+	if off != 0xFFFF {
+		return m.Bus.LoadWord(m.Linear(seg, off))
+	}
 	lo := m.Bus.LoadByte(m.Linear(seg, off))
 	hi := m.Bus.LoadByte(m.Linear(seg, off+1))
 	return uint16(lo) | uint16(hi)<<8
@@ -255,7 +300,12 @@ func (m *Machine) LoadWord(seg isa.SReg, off uint16) uint16 {
 
 // StoreWord writes the 16-bit word at seg:off, reporting whether the
 // store succeeded (false means it targeted ROM under the fault policy).
+// Like LoadWord it defers to the bus's fused word store except when
+// the 16-bit offset wraps within the segment.
 func (m *Machine) StoreWord(seg isa.SReg, off uint16, v uint16) bool {
+	if off != 0xFFFF {
+		return m.Bus.StoreWord(m.Linear(seg, off), v)
+	}
 	ok1 := m.Bus.StoreByte(m.Linear(seg, off), byte(v))
 	ok2 := m.Bus.StoreByte(m.Linear(seg, off+1), byte(v>>8))
 	return ok1 && ok2
@@ -299,16 +349,21 @@ func (m *Machine) SetIDTEntry(n uint8, target SegOff) {
 // portIn services IN; unmapped ports read as all-ones, like a floating
 // bus.
 func (m *Machine) portIn(port uint16) uint16 {
-	if d, ok := m.ports[port]; ok {
-		return d.In(port)
+	for i := range m.ports {
+		if m.ports[i].port == port {
+			return m.ports[i].dev.In(port)
+		}
 	}
 	return 0xFFFF
 }
 
 // portOut services OUT; writes to unmapped ports are dropped.
 func (m *Machine) portOut(port uint16, v uint16) {
-	if d, ok := m.ports[port]; ok {
-		d.Out(port, v)
+	for i := range m.ports {
+		if m.ports[i].port == port {
+			m.ports[i].dev.Out(port, v)
+			return
+		}
 	}
 }
 

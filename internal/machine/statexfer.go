@@ -27,9 +27,7 @@ func (m *Machine) AdoptState(src *Machine) error {
 	}
 	m.CPU = src.CPU
 	m.Stats = src.Stats
-	m.nmiPin = src.nmiPin
-	m.resetPin = src.resetPin
-	m.irqPin = src.irqPin
+	m.pins = src.pins
 	m.irqVec = src.irqVec
 	return nil
 }

@@ -21,7 +21,23 @@ func (m *Machine) Step() Event {
 		t.Tick(m)
 	}
 
-	ev := m.stepCPU()
+	// The processor's unit of work, open-coded here (rather than a
+	// stepCPU helper) to keep the per-step call chain short: one
+	// compare rules out all three external pins; stepPins handles the
+	// rare latched cases.
+	var ev Event
+	handled := false
+	if m.pins != 0 {
+		ev, handled = m.stepPins()
+	}
+	if !handled {
+		if m.CPU.Halted {
+			m.Stats.HaltTicks++
+			ev = EventHalted
+		} else {
+			ev = m.execute()
+		}
+	}
 
 	// The paper's NMI-counter hardware: decremented on every clock
 	// tick until it reaches zero, except on the tick that loaded it
@@ -56,36 +72,36 @@ func (m *Machine) RunUntil(limit int, pred func(*Machine) bool) bool {
 	return false
 }
 
-func (m *Machine) stepCPU() Event {
-	if m.resetPin {
+// stepPins reacts to latched external pins in priority order: reset,
+// then NMI, then maskable IRQ. It reports whether a pin was acted on;
+// a latched-but-undeliverable pin (masked IRQ, in-flight NMI) leaves
+// the processor to execute normally.
+func (m *Machine) stepPins() (Event, bool) {
+	if m.pins&pinReset != 0 {
 		m.Reset()
 		m.Stats.Resets++
 		if m.Probe != nil {
 			m.Probe.Emit(obs.Ev(m.Stats.Steps, obs.TypeReset))
 		}
-		return EventReset
+		return EventReset, true
 	}
-	if m.nmiPin && m.nmiDeliverable() {
+	if m.pins&pinNMI != 0 && m.nmiDeliverable() {
 		m.deliverNMI()
 		m.Stats.NMIs++
 		if m.Probe != nil {
 			m.Probe.Emit(obs.Ev(m.Stats.Steps, obs.TypeNMI))
 		}
-		return EventNMI
+		return EventNMI, true
 	}
-	if m.irqPin && m.CPU.Flags.Has(isa.FlagIF) {
+	if m.pins&pinIRQ != 0 && m.CPU.Flags.Has(isa.FlagIF) {
 		m.deliverIRQ()
 		m.Stats.IRQs++
 		if m.Probe != nil {
 			m.Probe.Emit(obs.Ev(m.Stats.Steps, obs.TypeIRQ))
 		}
-		return EventIRQ
+		return EventIRQ, true
 	}
-	if m.CPU.Halted {
-		m.Stats.HaltTicks++
-		return EventHalted
-	}
-	return m.execute()
+	return 0, false
 }
 
 // nmiDeliverable implements the two hardware variants: the paper's
@@ -100,7 +116,7 @@ func (m *Machine) nmiDeliverable() bool {
 }
 
 func (m *Machine) deliverNMI() {
-	m.nmiPin = false
+	m.pins &^= pinNMI
 	m.push(uint16(m.CPU.Flags))
 	m.push(m.CPU.S[isa.CS])
 	m.push(m.CPU.IP)
@@ -122,7 +138,7 @@ func (m *Machine) deliverNMI() {
 }
 
 func (m *Machine) deliverIRQ() {
-	m.irqPin = false
+	m.pins &^= pinIRQ
 	m.push(uint16(m.CPU.Flags))
 	m.push(m.CPU.S[isa.CS])
 	m.push(m.CPU.IP)
@@ -163,14 +179,4 @@ func (m *Machine) raiseException(vec uint8) Event {
 		m.CPU.IP = target.Off
 	}
 	return EventException
-}
-
-// fetch reads and decodes the instruction at cs:ip. Offsets wrap
-// within the 64 KiB segment as on real hardware.
-func (m *Machine) fetch() (isa.Inst, int, bool) {
-	var buf [isa.MaxInstrSize]byte
-	for i := range buf {
-		buf[i] = m.Bus.LoadByte(m.Linear(isa.CS, m.CPU.IP+uint16(i)))
-	}
-	return isa.Decode(buf[:])
 }

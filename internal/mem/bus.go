@@ -11,6 +11,21 @@
 // configurable — real hardware silently ignores ROM writes, while the
 // paper's tailored designs route such anomalies (e.g. a store through a
 // corrupted ss) to an exception handler that reinstalls the OS.
+//
+// The bus additionally maintains two O(1) lookup structures that the
+// simulator's hot paths depend on:
+//
+//   - a per-byte ROM membership bitmap, so InROM (consulted on every
+//     store and every protection check) costs one word load instead of
+//     a scan over the region list;
+//   - per-page write-generation counters (PageSize-byte pages), bumped
+//     by EVERY path that can alter memory contents — instruction
+//     stores, test Pokes, fault-injection PokeRAMs, snapshot Restores
+//     and ROM installation. The machine's predecoded instruction cache
+//     validates entries against these counters, which is what keeps the
+//     fast path sound from arbitrary configurations: no cached decode
+//     can survive a write (or an injected bit-flip) to its backing
+//     bytes, because any such write bumps the backing page's counter.
 package mem
 
 import (
@@ -24,6 +39,17 @@ const AddrSpace = 1 << 20
 
 // AddrMask masks a linear address to the physical address space.
 const AddrMask = AddrSpace - 1
+
+// PageShift is the log2 of the write-generation page size.
+const PageShift = 8
+
+// PageSize is the granularity of write-generation tracking. Small
+// enough that a store invalidates few cached decodes, large enough
+// that the counter array stays cache-resident.
+const PageSize = 1 << PageShift
+
+// NumPages is the number of generation-tracked pages.
+const NumPages = AddrSpace >> PageShift
 
 // ROMWritePolicy selects what a store to a ROM address does.
 type ROMWritePolicy uint8
@@ -63,6 +89,18 @@ type Bus struct {
 	roms   []Region
 	policy ROMWritePolicy
 
+	// romBits is the per-byte ROM membership bitmap (1 bit per
+	// address). It makes InROM O(1); the region list is kept only for
+	// reporting and RAM-range enumeration.
+	romBits []uint64
+
+	// gens holds one write-generation counter per PageSize-byte page.
+	// Every mutation of data bumps the counter of each page it
+	// touches. Consumers (the machine's decode cache) snapshot the
+	// counters covering a cached range and treat any change as an
+	// invalidation. 64-bit counters cannot realistically wrap.
+	gens *[NumPages]uint64
+
 	// ROMWriteCount counts stores that targeted ROM, regardless of
 	// policy. Useful for detecting misbehaving guests in tests.
 	ROMWriteCount uint64
@@ -70,7 +108,11 @@ type Bus struct {
 
 // NewBus returns a bus with all RAM zeroed and no ROM regions.
 func NewBus() *Bus {
-	return &Bus{data: make([]byte, AddrSpace)}
+	return &Bus{
+		data:    make([]byte, AddrSpace),
+		romBits: make([]uint64, AddrSpace/64),
+		gens:    new([NumPages]uint64),
+	}
 }
 
 // SetROMWritePolicy selects the behaviour of stores targeting ROM.
@@ -96,6 +138,10 @@ func (b *Bus) AddROM(name string, start uint32, data []byte) (Region, error) {
 		}
 	}
 	copy(b.data[r.Start:r.End()], data)
+	for a := r.Start; a < r.End(); a++ {
+		b.romBits[a>>6] |= 1 << (a & 63)
+	}
+	b.bumpRange(r.Start, r.End())
 	b.roms = append(b.roms, r)
 	sort.Slice(b.roms, func(i, j int) bool { return b.roms[i].Start < b.roms[j].Start })
 	return r, nil
@@ -111,12 +157,37 @@ func (b *Bus) ROMs() []Region {
 // InROM reports whether addr falls inside a ROM region.
 func (b *Bus) InROM(addr uint32) bool {
 	addr &= AddrMask
-	for _, r := range b.roms {
-		if r.Contains(addr) {
-			return true
-		}
+	return b.romBits[addr>>6]&(1<<(addr&63)) != 0
+}
+
+// PageGen returns the write-generation counter of the page containing
+// addr. Two equal readings bracket an interval during which the page's
+// bytes were provably not written.
+func (b *Bus) PageGen(addr uint32) uint64 {
+	return b.gens[(addr&AddrMask)>>PageShift]
+}
+
+// PageGens exposes the write-generation counter array itself, indexed
+// by page number (linear address >> PageShift). Callers must treat it
+// as read-only; the machine's fetch fast path holds on to it so a
+// cache probe costs two array loads instead of two method calls. The
+// array is allocated once per bus and never replaced, so a cached
+// pointer stays valid for the bus's lifetime.
+func (b *Bus) PageGens() *[NumPages]uint64 { return b.gens }
+
+// bumpRange advances the generation of every page overlapping
+// [start, end).
+func (b *Bus) bumpRange(start, end uint32) {
+	for p := start >> PageShift; p <= (end-1)>>PageShift; p++ {
+		b.gens[p]++
 	}
-	return false
+}
+
+// bumpAll advances every page generation (full-memory mutation).
+func (b *Bus) bumpAll() {
+	for i := range b.gens {
+		b.gens[i]++
+	}
 }
 
 // LoadByte returns the byte at addr.
@@ -129,11 +200,12 @@ func (b *Bus) LoadByte(addr uint32) byte {
 // either way.
 func (b *Bus) StoreByte(addr uint32, v byte) bool {
 	addr &= AddrMask
-	if b.InROM(addr) {
+	if b.romBits[addr>>6]&(1<<(addr&63)) != 0 {
 		b.ROMWriteCount++
 		return b.policy == ROMWriteIgnore
 	}
 	b.data[addr] = v
+	b.gens[addr>>PageShift]++
 	return true
 }
 
@@ -141,16 +213,38 @@ func (b *Bus) StoreByte(addr uint32, v byte) bool {
 // are read at addr and addr+1 (mod address space), matching byte-wise
 // access.
 func (b *Bus) LoadWord(addr uint32) uint16 {
-	lo := b.LoadByte(addr)
-	hi := b.LoadByte(addr + 1)
-	return uint16(lo) | uint16(hi)<<8
+	a0 := addr & AddrMask
+	if a0 < AddrMask {
+		return uint16(b.data[a0]) | uint16(b.data[a0+1])<<8
+	}
+	return uint16(b.data[a0]) | uint16(b.data[0])<<8
 }
 
 // StoreWord stores the little-endian 16-bit word v at addr, reporting
 // whether both byte stores succeeded.
+//
+// When neither byte lands in ROM (the overwhelmingly common case) the
+// word commits with a single fused check. When either byte targets ROM
+// the store degrades to the byte-wise path, preserving the
+// long-standing straddle semantics: a word straddling a RAM→ROM
+// boundary under ROMWriteFault half-commits — the RAM byte is written,
+// the ROM byte is dropped, and the store reports failure. That partial
+// write is exactly what byte-serial hardware does, and the paper's
+// designs must stabilize from it like from any other corruption.
 func (b *Bus) StoreWord(addr uint32, v uint16) bool {
-	ok1 := b.StoreByte(addr, byte(v))
-	ok2 := b.StoreByte(addr+1, byte(v>>8))
+	a0 := addr & AddrMask
+	a1 := (addr + 1) & AddrMask
+	if (b.romBits[a0>>6]&(1<<(a0&63)))|(b.romBits[a1>>6]&(1<<(a1&63))) == 0 {
+		b.data[a0] = byte(v)
+		b.data[a1] = byte(v >> 8)
+		b.gens[a0>>PageShift]++
+		if a1>>PageShift != a0>>PageShift {
+			b.gens[a1>>PageShift]++
+		}
+		return true
+	}
+	ok1 := b.StoreByte(a0, byte(v))
+	ok2 := b.StoreByte(a1, byte(v>>8))
 	return ok1 && ok2
 }
 
@@ -158,17 +252,22 @@ func (b *Bus) StoreWord(addr uint32, v uint16) bool {
 // outside the instruction stream (initial-state setup in tests); fault
 // injection must use PokeRAM instead, since transient faults cannot
 // alter ROM.
-func (b *Bus) Poke(addr uint32, v byte) { b.data[addr&AddrMask] = v }
+func (b *Bus) Poke(addr uint32, v byte) {
+	addr &= AddrMask
+	b.data[addr] = v
+	b.gens[addr>>PageShift]++
+}
 
 // PokeRAM writes v at addr unless addr is in ROM; it reports whether
 // the write happened. This is the fault-injection entry point: soft
 // errors flip RAM and register bits but never ROM.
 func (b *Bus) PokeRAM(addr uint32, v byte) bool {
 	addr &= AddrMask
-	if b.InROM(addr) {
+	if b.romBits[addr>>6]&(1<<(addr&63)) != 0 {
 		return false
 	}
 	b.data[addr] = v
+	b.gens[addr>>PageShift]++
 	return true
 }
 
@@ -176,11 +275,27 @@ func (b *Bus) PokeRAM(addr uint32, v byte) bool {
 // for symmetry with Poke).
 func (b *Bus) Peek(addr uint32) byte { return b.data[addr&AddrMask] }
 
+// View returns a read-only window over [addr, addr+n), which must not
+// wrap the address space (addr+n <= AddrSpace). Callers must not write
+// through the slice and must not retain it across bus mutations; it
+// exists so the fetch fast path can decode straight from backing
+// memory without a copy.
+func (b *Bus) View(addr, n uint32) []byte { return b.data[addr : addr+n] }
+
 // CopyOut copies length bytes starting at addr into a new slice.
 func (b *Bus) CopyOut(addr, length uint32) []byte {
 	out := make([]byte, length)
-	for i := uint32(0); i < length; i++ {
-		out[i] = b.data[(addr+i)&AddrMask]
+	addr &= AddrMask
+	if uint64(addr)+uint64(length) <= AddrSpace {
+		copy(out, b.data[addr:addr+length])
+		return out
+	}
+	// The range wraps the top of the address space: copy the tail,
+	// then keep copying from the bottom (possibly multiple times for
+	// lengths beyond AddrSpace, matching the modular byte-wise reads).
+	n := copy(out, b.data[addr:])
+	for n < len(out) {
+		n += copy(out[n:], b.data)
 	}
 	return out
 }
@@ -240,5 +355,6 @@ func (b *Bus) Restore(snap []byte) error {
 		return fmt.Errorf("mem: snapshot length %d, want %d", len(snap), AddrSpace)
 	}
 	copy(b.data, snap)
+	b.bumpAll()
 	return nil
 }

@@ -205,3 +205,145 @@ func TestROMWritesNeverAlterROMProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCopyOutMultiWrap(t *testing.T) {
+	b := NewBus()
+	b.StoreByte(0, 7)
+	b.StoreByte(AddrMask, 8)
+	// Longer than the whole address space: the modular byte-wise
+	// semantics repeat the image.
+	got := b.CopyOut(AddrMask, AddrSpace+2)
+	if got[0] != 8 || got[1] != 7 {
+		t.Fatalf("head = %v", got[:2])
+	}
+	if got[AddrSpace] != 8 || got[AddrSpace+1] != 7 {
+		t.Fatalf("wrapped tail = %v", got[AddrSpace:])
+	}
+	if got[1+0x40] != b.LoadByte(0x40) {
+		t.Fatal("interior byte mismatch")
+	}
+}
+
+// TestStoreWordStraddlesIntoROM pins the byte-wise semantics of a word
+// store whose low byte is RAM and high byte is ROM: under every policy
+// the RAM byte commits and the ROM byte is dropped. Under
+// ROMWriteFault the store reports failure; under ROMWriteIgnore it
+// reports success, exactly as two sequential StoreByte calls would.
+// The fused fast path must preserve this.
+func TestStoreWordStraddlesIntoROM(t *testing.T) {
+	for _, policy := range []ROMWritePolicy{ROMWriteIgnore, ROMWriteFault} {
+		b := NewBus()
+		b.SetROMWritePolicy(policy)
+		if _, err := b.AddROM("rom", 0x2000, []byte{0xEE}); err != nil {
+			t.Fatal(err)
+		}
+		before := b.ROMWriteCount
+		ok := b.StoreWord(0x1FFF, 0xBBAA)
+		if want := policy == ROMWriteIgnore; ok != want {
+			t.Fatalf("policy %v: StoreWord ok = %v, want %v", policy, ok, want)
+		}
+		if b.LoadByte(0x1FFF) != 0xAA {
+			t.Fatalf("policy %v: RAM half did not commit", policy)
+		}
+		if b.LoadByte(0x2000) != 0xEE {
+			t.Fatalf("policy %v: ROM half changed", policy)
+		}
+		if b.ROMWriteCount != before+1 {
+			t.Fatalf("policy %v: ROMWriteCount = %d, want %d", policy, b.ROMWriteCount, before+1)
+		}
+	}
+}
+
+// TestPageGenerations pins the invalidation contract the decode cache
+// depends on: every mutation path bumps the written page's generation,
+// reads never do, and blocked ROM writes leave generations alone.
+func TestPageGenerations(t *testing.T) {
+	b := NewBus()
+	if _, err := b.AddROM("rom", 0x2000, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	gen := func(addr uint32) uint64 { return b.PageGen(addr) }
+
+	g := gen(0x50)
+	b.StoreByte(0x50, 1)
+	if gen(0x50) != g+1 {
+		t.Fatal("StoreByte did not bump the page generation")
+	}
+	b.LoadByte(0x50)
+	b.LoadWord(0x50)
+	b.Peek(0x50)
+	b.CopyOut(0x50, 4)
+	if gen(0x50) != g+1 {
+		t.Fatal("a read path bumped the page generation")
+	}
+
+	// A word store straddling a page boundary bumps both pages.
+	g0, g1 := gen(PageSize-1), gen(PageSize)
+	b.StoreWord(PageSize-1, 0xFFFF)
+	if gen(PageSize-1) != g0+1 || gen(PageSize) != g1+1 {
+		t.Fatal("straddling StoreWord did not bump both pages")
+	}
+
+	g = gen(0x60)
+	b.Poke(0x60, 9)
+	if gen(0x60) != g+1 {
+		t.Fatal("Poke did not bump the page generation")
+	}
+	g = gen(0x70)
+	b.PokeRAM(0x70, 9)
+	if gen(0x70) != g+1 {
+		t.Fatal("PokeRAM did not bump the page generation")
+	}
+
+	// Blocked writes to ROM must not bump (nothing changed) — and a
+	// PokeRAM refused on ROM must not either.
+	g = gen(0x2000)
+	b.StoreByte(0x2000, 0xFF)
+	b.PokeRAM(0x2000, 0xFF)
+	if gen(0x2000) != g {
+		t.Fatal("blocked ROM write bumped the page generation")
+	}
+
+	// Restore invalidates everything.
+	snap := b.Snapshot()
+	gBefore := gen(0x90000)
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if gen(0x90000) == gBefore {
+		t.Fatal("Restore did not bump generations")
+	}
+
+	// AddROM invalidates the covered pages.
+	g = gen(0x3000)
+	if _, err := b.AddROM("rom2", 0x3000, []byte{5}); err != nil {
+		t.Fatal(err)
+	}
+	if gen(0x3000) == g {
+		t.Fatal("AddROM did not bump the covered page generation")
+	}
+}
+
+// TestInROMMatchesRegions cross-checks the O(1) membership bitmap
+// against the region list it is derived from.
+func TestInROMMatchesRegions(t *testing.T) {
+	b := NewBus()
+	if _, err := b.AddROM("a", 0x100, make([]byte, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddROM("b", 0xFFFFE, make([]byte, 2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		addr uint32
+		want bool
+	}{
+		{0x0FF, false}, {0x100, true}, {0x102, true}, {0x103, false},
+		{0xFFFFD, false}, {0xFFFFE, true}, {0xFFFFF, true}, {0, false},
+		{AddrSpace + 0x100, true}, // wraps to 0x100
+	} {
+		if got := b.InROM(tc.addr); got != tc.want {
+			t.Errorf("InROM(%#x) = %v, want %v", tc.addr, got, tc.want)
+		}
+	}
+}
