@@ -1,0 +1,90 @@
+// ssos-lint is the repository's static checker front end.
+//
+// Two modes:
+//
+//	ssos-lint [packages...]   run the analyzer suite (genbump, detmap,
+//	                          probenil, nodeterm) over Go packages;
+//	                          defaults to ./... from the module root.
+//	ssos-lint -images         build every guest ROM image and run the
+//	                          imglint verifier over each.
+//
+// Exit status is 1 when any finding is reported, so both modes slot
+// directly into CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ssos/internal/analyzers"
+	"ssos/internal/guest"
+	"ssos/internal/imglint"
+)
+
+func main() {
+	images := flag.Bool("images", false, "lint assembled guest ROM images instead of Go packages")
+	flag.Parse()
+
+	var failed bool
+	var err error
+	if *images {
+		failed, err = lintImages()
+	} else {
+		failed, err = lintPackages(flag.Args())
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssos-lint: %v\n", err)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// lintImages verifies every assembled guest ROM image.
+func lintImages() (failed bool, err error) {
+	specs, err := guest.LintImages()
+	if err != nil {
+		return false, fmt.Errorf("building guest images: %w", err)
+	}
+	total := 0
+	for _, spec := range specs {
+		findings := imglint.Check(spec)
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		total += len(findings)
+	}
+	fmt.Printf("ssos-lint: %d image(s) checked, %d finding(s)\n", len(specs), total)
+	return total > 0, nil
+}
+
+// lintPackages runs the analyzer suite over the given package patterns.
+func lintPackages(patterns []string) (failed bool, err error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		return false, err
+	}
+	root, err := analyzers.ModuleRoot(wd)
+	if err != nil {
+		return false, err
+	}
+	loader, err := analyzers.NewLoader(root)
+	if err != nil {
+		return false, err
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		return false, err
+	}
+	diags := analyzers.Run(pkgs, analyzers.All())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	fmt.Printf("ssos-lint: %d package(s) checked, %d finding(s)\n", len(pkgs), len(diags))
+	return len(diags) > 0, nil
+}

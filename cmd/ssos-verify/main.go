@@ -3,10 +3,12 @@
 // checker (internal/model), printing a verification report: every
 // claim, the state space covered, and the exact worst-case bound found
 // (or the counterexample, for the claims that are supposed to fail).
+// It also runs the static side of the argument: imglint over every
+// assembled guest ROM image (-static=false skips it).
 //
 // Usage:
 //
-//	ssos-verify [-rw]   (-rw includes the large read/write-atomicity ring check)
+//	ssos-verify [-rw] [-static]
 package main
 
 import (
@@ -14,11 +16,14 @@ import (
 	"fmt"
 	"os"
 
+	"ssos/internal/guest"
+	"ssos/internal/imglint"
 	"ssos/internal/model"
 )
 
 func main() {
 	rw := flag.Bool("rw", true, "include the read/write-atomicity ring check (125k states)")
+	static := flag.Bool("static", true, "include the static ROM-image invariant checks (imglint)")
 	flag.Parse()
 
 	failures := 0
@@ -106,6 +111,26 @@ func main() {
 		}
 		report("read/write-atomicity ring (K=5): every weakly-fair execution converges",
 			len(sys.States), outcome, ok)
+	}
+
+	// Static ROM invariants (paper Section 5): the fill, slot, cs and
+	// table properties the dynamic checks above assume are proved
+	// directly on the assembled image bytes.
+	if *static {
+		specs, err := guest.LintImages()
+		if err != nil {
+			report("static ROM invariants: guest images build", 0, err.Error(), false)
+		} else {
+			total := 0
+			for _, spec := range specs {
+				for _, f := range imglint.Check(spec) {
+					fmt.Println("      " + f.String())
+					total++
+				}
+			}
+			report("static ROM invariants hold for every guest image (imglint)",
+				len(specs), fmt.Sprintf("%d images, %d findings", len(specs), total), total == 0)
+		}
 	}
 
 	if failures > 0 {

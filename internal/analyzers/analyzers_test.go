@@ -1,0 +1,287 @@
+package analyzers_test
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ssos/internal/analyzers"
+)
+
+func newLoader(t *testing.T) *analyzers.Loader {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := analyzers.ModuleRoot(wd)
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	l, err := analyzers.NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	return l
+}
+
+// runOne applies a single analyzer to synthetic source, bypassing the
+// Applies path predicate (unit tests pick the analyzer directly).
+func runOne(t *testing.T, a *analyzers.Analyzer, path, src string) []string {
+	t.Helper()
+	l := newLoader(t)
+	pkg, err := l.CheckSource(path, src)
+	if err != nil {
+		t.Fatalf("CheckSource: %v", err)
+	}
+	var msgs []string
+	a.Run(pkg, func(pos token.Pos, format string, args ...any) {
+		p := pkg.Fset.Position(pos)
+		msgs = append(msgs, fmt.Sprintf("%s@%d: %s", a.Name, p.Line, fmt.Sprintf(format, args...)))
+	})
+	return msgs
+}
+
+// TestGenbumpFlagsUnbumpedMutation: data writes without a generation
+// bump (direct or via a bumping sibling) are flagged; bumped paths are
+// not.
+func TestGenbumpFlagsUnbumpedMutation(t *testing.T) {
+	src := `package mem
+
+type Bus struct {
+	data []byte
+	gens [16]uint64
+}
+
+func (b *Bus) bump(p int) { b.gens[p]++ }
+
+func (b *Bus) Good(addr int, v byte) {
+	b.data[addr] = v
+	b.bump(addr >> 12)
+}
+
+func (b *Bus) GoodDirect(addr int, v byte) {
+	b.data[addr] = v
+	b.gens[addr>>12]++
+}
+
+func (b *Bus) Bad(addr int, v byte) {
+	b.data[addr] = v
+}
+
+func (b *Bus) BadCopy(src []byte) {
+	copy(b.data, src)
+}
+
+func (b *Bus) ReadOnly(dst []byte) {
+	copy(dst, b.data)
+}
+`
+	msgs := runOne(t, analyzers.Genbump, "ssos/testdata/genbump", src)
+	if len(msgs) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%s", len(msgs), strings.Join(msgs, "\n"))
+	}
+	for _, want := range []string{"Bus.Bad ", "Bus.BadCopy "} {
+		found := false
+		for _, m := range msgs {
+			if strings.Contains(m, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding mentioning %q in %v", want, msgs)
+		}
+	}
+}
+
+// TestDetmapFlagsOrderSensitiveRange: map ranges that leak iteration
+// order are flagged; pure key-indexed transfers are not.
+func TestDetmapFlagsOrderSensitiveRange(t *testing.T) {
+	src := `package obs
+
+func Leaky(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+func Transfer(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func Accumulate(dst, src map[string]uint64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+func Count(m map[string]int) map[string]int {
+	c := map[string]int{}
+	for k := range m {
+		c[k]++
+	}
+	return c
+}
+
+func SliceLoop(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+`
+	msgs := runOne(t, analyzers.Detmap, "ssos/testdata/detmap", src)
+	if len(msgs) != 1 {
+		t.Fatalf("got %d findings, want 1 (Leaky only):\n%s", len(msgs), strings.Join(msgs, "\n"))
+	}
+	if !strings.Contains(msgs[0], "map m") {
+		t.Errorf("finding does not name the map: %s", msgs[0])
+	}
+}
+
+// TestProbenilFlagsUnguardedEmit: Emit on an obs.Probe-typed value
+// without a preceding nil comparison in the same function is flagged.
+func TestProbenilFlagsUnguardedEmit(t *testing.T) {
+	src := `package probetest
+
+import "ssos/internal/obs"
+
+type holder struct {
+	p obs.Probe
+}
+
+func (h *holder) guarded(e obs.Event) {
+	if h.p != nil {
+		h.p.Emit(e)
+	}
+}
+
+func (h *holder) earlyReturn(e obs.Event) {
+	if h.p == nil {
+		return
+	}
+	h.p.Emit(e)
+}
+
+func (h *holder) unguarded(e obs.Event) {
+	h.p.Emit(e)
+}
+
+type notProbe struct{}
+
+func (notProbe) Emit(s string) {}
+
+func otherEmit(n notProbe) {
+	n.Emit("fine")
+}
+`
+	msgs := runOne(t, analyzers.Probenil, "ssos/testdata/probenil", src)
+	if len(msgs) != 1 {
+		t.Fatalf("got %d findings, want 1 (unguarded only):\n%s", len(msgs), strings.Join(msgs, "\n"))
+	}
+	if !strings.Contains(msgs[0], "unguarded") {
+		t.Errorf("finding does not name the function: %s", msgs[0])
+	}
+}
+
+// TestNodetermFlagsClockAndGlobalRand: wall-clock calls and global rng
+// draws are flagged; seeded construction and *rand.Rand methods pass.
+func TestNodetermFlagsClockAndGlobalRand(t *testing.T) {
+	src := `package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() int64 {
+	t := time.Now()
+	_ = time.Since(t)
+	return rand.Int63()
+}
+
+func good(seed int64) uint64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Uint64()
+}
+
+func alsoFine(d time.Duration) time.Duration {
+	return d * 2
+}
+`
+	msgs := runOne(t, analyzers.Nodeterm, "ssos/testdata/nodeterm", src)
+	if len(msgs) != 3 {
+		t.Fatalf("got %d findings, want 3 (Now, Since, Int63):\n%s", len(msgs), strings.Join(msgs, "\n"))
+	}
+	for _, want := range []string{"time.Now", "time.Since", "rand.Int63"} {
+		found := false
+		for _, m := range msgs {
+			if strings.Contains(m, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding mentioning %q in %v", want, msgs)
+		}
+	}
+}
+
+// TestAnalyzersRepoClean runs the full suite over the entire module:
+// the repository must stay lint-clean, and the run must be
+// deterministic.
+func TestAnalyzersRepoClean(t *testing.T) {
+	l := newLoader(t)
+	pkgs, err := l.Load([]string{"./..."})
+	if err != nil {
+		t.Fatalf("Load ./...: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("only %d packages loaded; pattern expansion is broken", len(pkgs))
+	}
+	diags := analyzers.Run(pkgs, analyzers.All())
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+	again := analyzers.Run(pkgs, analyzers.All())
+	if !reflect.DeepEqual(diags, again) {
+		t.Error("analyzer output is not deterministic across runs")
+	}
+}
+
+// TestAppliesScoping pins the path predicates: genbump only sees
+// internal/mem, detmap only the deterministic result packages,
+// nodeterm the simulation core.
+func TestAppliesScoping(t *testing.T) {
+	cases := []struct {
+		a    *analyzers.Analyzer
+		path string
+		want bool
+	}{
+		{analyzers.Genbump, "ssos/internal/mem", true},
+		{analyzers.Genbump, "ssos/internal/machine", false},
+		{analyzers.Detmap, "ssos/internal/cluster", true},
+		{analyzers.Detmap, "ssos/internal/obs", true},
+		{analyzers.Detmap, "ssos/internal/expt", true},
+		{analyzers.Detmap, "ssos/internal/analyzers", false},
+		{analyzers.Nodeterm, "ssos/internal/machine", true},
+		{analyzers.Nodeterm, "ssos/cmd/ssos-run", false},
+	}
+	for _, c := range cases {
+		if got := c.a.Applies(c.path); got != c.want {
+			t.Errorf("%s.Applies(%q) = %v, want %v", c.a.Name, c.path, got, c.want)
+		}
+	}
+	if analyzers.Probenil.Applies != nil {
+		t.Error("probenil should apply to every package (Applies == nil)")
+	}
+}

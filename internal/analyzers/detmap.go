@@ -1,0 +1,86 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Detmap polices Go map iteration in the packages whose outputs must be
+// bit-identical across runs and replicas: internal/cluster (digest
+// voting), internal/obs (event export) and internal/expt (result
+// tables). Go randomizes map iteration order, so a range over a map is
+// only legal when its body is order-insensitive — every statement
+// writes through a map index (or a blank), making the loop a pure
+// key-indexed transfer. Anything else (appending to a slice, summing
+// into a scalar with floats, emitting events) must iterate a sorted key
+// slice instead.
+var Detmap = &Analyzer{
+	Name:    "detmap",
+	Doc:     "no order-sensitive map iteration in deterministic result paths",
+	Applies: pathSuffix("internal/cluster", "internal/obs", "internal/expt"),
+	Run:     runDetmap,
+}
+
+func runDetmap(pkg *Package, report func(token.Pos, string, ...any)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if !orderInsensitiveBody(pkg, rs.Body) {
+				report(rs.Pos(), "iteration order of map %s leaks into the result; iterate sorted keys instead", types.ExprString(rs.X))
+			}
+			return true
+		})
+	}
+}
+
+// orderInsensitiveBody reports whether every statement in a map-range
+// body is an order-insensitive map-to-map transfer: assignments whose
+// left-hand sides are all blank identifiers or indexes into maps, or
+// inc/dec of a map index.
+func orderInsensitiveBody(pkg *Package, body *ast.BlockStmt) bool {
+	for _, st := range body.List {
+		switch s := st.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				if !isMapIndex(pkg, lhs) {
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if !isMapIndex(pkg, s.X) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isMapIndex reports whether e is an index expression into a map.
+func isMapIndex(pkg *Package, e ast.Expr) bool {
+	idx, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := pkg.Info.Types[idx.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}

@@ -1,0 +1,73 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Nodeterm keeps wall-clock time and the global random generator out of
+// the deterministic simulation core. Every run is a pure function of
+// (image bytes, seed, step budget); a time.Now or rand.Int63 call in
+// these packages silently breaks replayability and cross-replica digest
+// comparison. Seeded generators are fine: rand.New(rand.NewSource(seed))
+// stays allowed, as do methods on the resulting *rand.Rand.
+var Nodeterm = &Analyzer{
+	Name: "nodeterm",
+	Doc:  "no wall-clock or global-rng calls in deterministic packages",
+	Applies: pathSuffix(
+		"internal/isa", "internal/mem", "internal/machine", "internal/asm",
+		"internal/guest", "internal/core", "internal/cluster", "internal/obs",
+		"internal/dev", "internal/fault", "internal/trace",
+	),
+	Run: runNodeterm,
+}
+
+// timeBanned lists the time package's nondeterministic entry points.
+// Conversions and pure arithmetic (time.Duration, ParseDuration) are
+// deliberately absent.
+var timeBanned = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// randAllowed lists math/rand package functions that construct seeded
+// state instead of consulting the global generator.
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func runNodeterm(pkg *Package, report func(token.Pos, string, ...any)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true // method call or qualified field, not a package func
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if timeBanned[sel.Sel.Name] {
+					report(call.Pos(), "time.%s in deterministic package %s; thread simulated time instead", sel.Sel.Name, pkg.Types.Name())
+				}
+			case "math/rand":
+				if !randAllowed[sel.Sel.Name] {
+					report(call.Pos(), "global math/rand.%s in deterministic package %s; use a seeded *rand.Rand", sel.Sel.Name, pkg.Types.Name())
+				}
+			}
+			return true
+		})
+	}
+}

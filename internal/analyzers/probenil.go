@@ -1,0 +1,110 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Probenil enforces the observability layer's "zero cost when
+// disabled" contract: probes are optional, so every call x.Emit(...)
+// where x's static type satisfies obs.Probe must be dominated by a nil
+// comparison of the same expression earlier in the enclosing function.
+// The check is syntactic but sound for this codebase's idiom — the
+// guard is always a textual `x != nil` (or `x == nil` early return) in
+// the same function; a missing guard is a latent nil-dereference on
+// every uninstrumented machine.
+var Probenil = &Analyzer{
+	Name: "probenil",
+	Doc:  "obs.Probe Emit calls need a preceding nil check",
+	Run:  runProbenil,
+}
+
+func runProbenil(pkg *Package, report func(token.Pos, string, ...any)) {
+	probe := probeInterface(pkg)
+	if probe == nil {
+		return // package doesn't see obs.Probe; nothing to check
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkProbeFunc(pkg, probe, fn, report)
+		}
+	}
+}
+
+// probeInterface resolves the obs.Probe interface type as seen by pkg,
+// whether pkg imports internal/obs or is internal/obs itself.
+func probeInterface(pkg *Package) *types.Interface {
+	lookup := func(p *types.Package) *types.Interface {
+		obj, ok := p.Scope().Lookup("Probe").(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	if strings.HasSuffix(pkg.Path, "internal/obs") {
+		return lookup(pkg.Types)
+	}
+	for _, imp := range pkg.Types.Imports() {
+		if strings.HasSuffix(imp.Path(), "internal/obs") {
+			return lookup(imp)
+		}
+	}
+	return nil
+}
+
+// checkProbeFunc flags unguarded probe Emit calls in one function.
+func checkProbeFunc(pkg *Package, probe *types.Interface, fn *ast.FuncDecl, report func(token.Pos, string, ...any)) {
+	// First pass: collect positions of nil comparisons, keyed by the
+	// textual form of the non-nil operand.
+	nilChecked := map[string][]token.Pos{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		side := func(maybeNil, other ast.Expr) {
+			if tv, ok := pkg.Info.Types[maybeNil]; ok && tv.IsNil() {
+				key := types.ExprString(other)
+				nilChecked[key] = append(nilChecked[key], be.Pos())
+			}
+		}
+		side(be.X, be.Y)
+		side(be.Y, be.X)
+		return true
+	})
+
+	// Second pass: every probe Emit call must have a nil comparison of
+	// the same receiver expression at an earlier position.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Emit" {
+			return true
+		}
+		tv, ok := pkg.Info.Types[sel.X]
+		if !ok || tv.Type == nil {
+			return true // package name or other non-expression receiver
+		}
+		if !types.AssignableTo(tv.Type, probe) {
+			return true
+		}
+		key := types.ExprString(sel.X)
+		for _, pos := range nilChecked[key] {
+			if pos < call.Pos() {
+				return true
+			}
+		}
+		report(call.Pos(), "%s.Emit called without a preceding nil check of %s in %s", key, key, fn.Name.Name)
+		return true
+	})
+}

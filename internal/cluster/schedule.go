@@ -27,7 +27,10 @@ const (
 	ModeBlast
 )
 
-var modeNames = map[FaultMode]string{
+// modeNames is indexed by FaultMode; an array (not a map) so that
+// ParseFaultMode resolves ties deterministically and iteration order
+// can never depend on runtime map layout.
+var modeNames = [...]string{
 	ModeNone:     "none",
 	ModeBitflip:  "bitflip",
 	ModeOSBlast:  "os-blast",
@@ -36,8 +39,8 @@ var modeNames = map[FaultMode]string{
 }
 
 func (m FaultMode) String() string {
-	if s, ok := modeNames[m]; ok {
-		return s
+	if int(m) < len(modeNames) {
+		return modeNames[m]
 	}
 	return fmt.Sprintf("mode(%d)", uint8(m))
 }
@@ -46,7 +49,7 @@ func (m FaultMode) String() string {
 func ParseFaultMode(name string) (FaultMode, error) {
 	for m, s := range modeNames {
 		if s == name {
-			return m, nil
+			return FaultMode(m), nil
 		}
 	}
 	return ModeNone, fmt.Errorf("cluster: unknown fault mode %q", name)

@@ -20,8 +20,20 @@ const ObsConfirm = 10
 //
 // Instrument must be called before the run whose events are wanted;
 // calling it replaces any previous instrumentation. An uninstrumented
-// system carries a nil probe and pays no observation cost.
+// system carries a nil probe and pays no observation cost; passing a
+// nil sink uninstalls any previous instrumentation and restores that
+// state.
 func (s *System) Instrument(sink obs.Probe) {
+	if sink == nil {
+		s.M.Probe = nil
+		if s.Heartbeat != nil {
+			s.Heartbeat.OnWrite = nil
+		}
+		if s.Repairs != nil {
+			s.Repairs.OnWrite = nil
+		}
+		return
+	}
 	p := &sysProbe{sys: s, sink: sink}
 	s.M.Probe = p
 	if s.Heartbeat != nil {
@@ -64,20 +76,31 @@ type sysProbe struct {
 	pending bool
 }
 
+// emit forwards one event to the sink, tolerating a nil sink (a
+// sysProbe is only installed with a non-nil sink, but the probe
+// contract everywhere else in the repo is "nil-checked before call"
+// and the derived-event fan-out below should not be the one exception).
+func (p *sysProbe) emit(e obs.Event) {
+	if p.sink == nil {
+		return
+	}
+	p.sink.Emit(e)
+}
+
 // Emit receives machine-level events (and fault-injection events, which
 // the injector routes through the machine probe), forwards them, and
 // appends the derived stabilizer events.
 func (p *sysProbe) Emit(e obs.Event) {
-	p.sink.Emit(e)
+	p.emit(e)
 	a := p.sys.Cfg.Approach
 	switch e.Type {
 	case obs.TypeNMI:
 		switch a {
 		case ApproachReinstall, ApproachContinue, ApproachAdaptive:
-			p.sink.Emit(obs.Ev(e.Step, obs.TypeReinstallStarted))
+			p.emit(obs.Ev(e.Step, obs.TypeReinstallStarted))
 			p.pending = true
 		case ApproachMonitor:
-			p.sink.Emit(obs.Ev(e.Step, obs.TypePredicateEval))
+			p.emit(obs.Ev(e.Step, obs.TypePredicateEval))
 		}
 	case obs.TypeException, obs.TypeReset:
 		switch a {
@@ -90,11 +113,11 @@ func (p *sysProbe) Emit(e obs.Event) {
 			// carries the exception vector.
 			fail := obs.Ev(e.Step, obs.TypePredicateFailed)
 			fail.Code = e.Code
-			p.sink.Emit(fail)
-			p.sink.Emit(obs.Ev(e.Step, obs.TypeReinstallStarted))
+			p.emit(fail)
+			p.emit(obs.Ev(e.Step, obs.TypeReinstallStarted))
 			p.pending = true
 		case ApproachReinstall, ApproachContinue, ApproachAdaptive:
-			p.sink.Emit(obs.Ev(e.Step, obs.TypeReinstallStarted))
+			p.emit(obs.Ev(e.Step, obs.TypeReinstallStarted))
 			p.pending = true
 		}
 	case obs.TypeFaultInjected:
@@ -107,7 +130,7 @@ func (p *sysProbe) Emit(e obs.Event) {
 func (p *sysProbe) onHeartbeat(step uint64, v uint16) {
 	if p.pending {
 		p.pending = false
-		p.sink.Emit(obs.Ev(step, obs.TypeReinstallCompleted))
+		p.emit(obs.Ev(step, obs.TypeReinstallCompleted))
 	}
 	if p.legal != nil {
 		p.legal.OnBeat(step, v)
@@ -117,10 +140,10 @@ func (p *sysProbe) onHeartbeat(step uint64, v uint16) {
 func (p *sysProbe) onRepair(step uint64, v uint16) {
 	fail := obs.Ev(step, obs.TypePredicateFailed)
 	fail.Code = uint64(v)
-	p.sink.Emit(fail)
+	p.emit(fail)
 	rep := obs.Ev(step, obs.TypePredicateRepaired)
 	rep.Code = uint64(v)
-	p.sink.Emit(rep)
+	p.emit(rep)
 }
 
 // ExportMetrics records the system's machine counters into the

@@ -216,12 +216,22 @@ func MustBuildKernel(padded bool) *Kernel {
 // CodeLen returns the kernel code length in bytes.
 func (k *Kernel) CodeLen() uint16 { return k.Prog.MustSymbol("code_end") }
 
-// Image renders the pristine OS image as stored in ROM: code, zero
-// fill, then the initial data section (counter = InitialCounter, canary
-// pre-set, run counters and checksum zero, consistent by construction).
+// Image renders the pristine OS image as stored in ROM: code, a
+// self-synchronizing jmp-start fill over the unused code region (every
+// byte of [code_end, DataOff) decodes back to the kernel's first
+// instruction — the §5.1 discipline, so a program counter corrupted
+// into the gap restarts the OS instead of walking into the data
+// section), then the initial data section (counter = InitialCounter,
+// canary pre-set, run counters and checksum zero, consistent by
+// construction).
 func (k *Kernel) Image() []byte {
+	filled, err := FillRegion(k.Prog.Code, DataOff)
+	if err != nil {
+		// BuildKernel already bounds the code length below DataOff.
+		panic(err)
+	}
 	img := make([]byte, ImageSize)
-	copy(img, k.Prog.Code)
+	copy(img, filled)
 	putWord := func(off int, v uint16) {
 		img[off] = byte(v)
 		img[off+1] = byte(v >> 8)

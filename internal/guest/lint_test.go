@@ -1,0 +1,143 @@
+package guest
+
+import (
+	"strings"
+	"testing"
+
+	"ssos/internal/imglint"
+	"ssos/internal/isa"
+)
+
+// TestLintImagesClean is the static half of the paper's Section 5
+// argument: every ROM image the builders produce satisfies its declared
+// invariants.
+func TestLintImagesClean(t *testing.T) {
+	specs, err := LintImages()
+	if err != nil {
+		t.Fatalf("LintImages: %v", err)
+	}
+	if len(specs) < 15 {
+		t.Fatalf("LintImages returned %d specs, want at least 15 (all builders)", len(specs))
+	}
+	for _, spec := range specs {
+		for _, f := range imglint.Check(spec) {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+// TestLintRejectsCorruptPadding corrupts one padding byte of the
+// primitive image and requires imglint to reject it, naming the
+// offending offset — the acceptance criterion that the checker actually
+// reads the fill, not just the code.
+func TestLintRejectsCorruptPadding(t *testing.T) {
+	prim, err := BuildPrimitive()
+	if err != nil {
+		t.Fatalf("BuildPrimitive: %v", err)
+	}
+	spec := primitiveSpec(prim)
+	if rest := imglint.Check(spec); len(rest) != 0 {
+		t.Fatalf("pristine primitive image has findings: %v", rest)
+	}
+
+	// Corrupt one byte in the middle of the fill. 0xFF is no opcode.
+	corrupt := int(prim.CodeEnd) + (len(prim.Image)-int(prim.CodeEnd))/2
+	spec.Bytes = append([]byte(nil), prim.Image...)
+	spec.Bytes[corrupt] = 0xFF
+
+	findings := imglint.Check(spec)
+	if len(findings) == 0 {
+		t.Fatalf("corrupting padding byte %#x produced no findings", corrupt)
+	}
+	found := false
+	for _, f := range findings {
+		if f.Check == "fill-coverage" && f.Offset == corrupt {
+			found = true
+			if !strings.Contains(f.String(), "fill-coverage") {
+				t.Errorf("finding does not render its check name: %s", f)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no fill-coverage finding names the corrupted offset %#x; got %v", corrupt, findings)
+	}
+}
+
+// TestLintRejectsRetargetedFill redirects one fill jmp at a wrong
+// target: the walk must flag it (a fill jmp that does not return to
+// start breaks the Theorem 5.1 convergence argument).
+func TestLintRejectsRetargetedFill(t *testing.T) {
+	prim, err := BuildPrimitive()
+	if err != nil {
+		t.Fatalf("BuildPrimitive: %v", err)
+	}
+	spec := primitiveSpec(prim)
+	spec.Bytes = append([]byte(nil), prim.Image...)
+	// The final fill pattern is jmp 0 at len-3: point it at 0x0100.
+	spec.Bytes[len(spec.Bytes)-2] = 0x00
+	spec.Bytes[len(spec.Bytes)-1] = 0x01
+
+	var hit bool
+	for _, f := range imglint.Check(spec) {
+		if f.Check == "fill-coverage" {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("retargeted fill jmp produced no fill-coverage finding")
+	}
+}
+
+// TestLintRejectsBadLimitsTable flips a processLimits word: the
+// scheduler's Figure 5 cs-confinement table must match the memory map
+// word-for-word.
+func TestLintRejectsBadLimitsTable(t *testing.T) {
+	s, err := BuildScheduler(false)
+	if err != nil {
+		t.Fatalf("BuildScheduler: %v", err)
+	}
+	spec := schedulerSpec("scheduler", s)
+	spec.Bytes = append([]byte(nil), s.Prog.Code...)
+	off := int(s.Prog.MustSymbol("processLimits"))
+	spec.Bytes[off] ^= 0xFF
+
+	var hit bool
+	for _, f := range imglint.Check(spec) {
+		if f.Check == "table-content" && f.Offset == off {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("corrupted processLimits word produced no table-content finding")
+	}
+}
+
+// TestKernelImageGapIsFill pins the satellite fix: the unused region
+// between kernel code and the data section is jmp-start fill, not
+// zeros that would let a wandering pc walk into the data section.
+func TestKernelImageGapIsFill(t *testing.T) {
+	k, err := BuildKernel(false)
+	if err != nil {
+		t.Fatalf("BuildKernel: %v", err)
+	}
+	img := k.Image()
+	gap := img[k.CodeLen():DataOff]
+	var jmps int
+	for _, b := range gap {
+		if b == byte(isa.OpJmp) {
+			jmps++
+		}
+	}
+	if jmps == 0 {
+		t.Fatal("kernel image gap contains no jmp-start fill — fix not applied")
+	}
+	// And the data section stays bit-exact: the fill must not have
+	// clobbered the initial soft state.
+	word := func(off int) uint16 { return uint16(img[off]) | uint16(img[off+1])<<8 }
+	if got := word(VarCanary); got != CanaryValue {
+		t.Errorf("canary word in pristine image is %#x, want %#x", got, CanaryValue)
+	}
+	if got := word(VarCounter); got != InitialCounter {
+		t.Errorf("counter word in pristine image is %#x, want %#x", got, InitialCounter)
+	}
+}

@@ -1,0 +1,284 @@
+package imglint
+
+import (
+	"ssos/internal/isa"
+)
+
+// Constant propagation over the lifted CFG, used to prove the
+// no-ROM-targeting-stores invariant. The abstract domain is per-
+// register "known constant or unknown" (a flat lattice); the transfer
+// function mirrors the subset of the ISA the guest sources use to
+// establish segments (mov reg,imm / mov sreg,reg / arithmetic on
+// constants). The analysis is sound for the check's purpose: a store is
+// reported only when the segment (and, when needed, the offset) of its
+// target is *provably* a constant that lands in ROM. Unknown values
+// never produce findings.
+
+// val is one abstract register value.
+type val struct {
+	known bool
+	v     uint16
+}
+
+// absState is the abstract register file.
+type absState struct {
+	regs  [isa.NumRegs]val
+	sregs [isa.NumSRegs]val
+}
+
+// meet joins two states element-wise: values survive only where both
+// sides agree.
+func (s absState) meet(o absState) absState {
+	var out absState
+	for i := range s.regs {
+		if s.regs[i].known && o.regs[i].known && s.regs[i].v == o.regs[i].v {
+			out.regs[i] = s.regs[i]
+		}
+	}
+	for i := range s.sregs {
+		if s.sregs[i].known && o.sregs[i].known && s.sregs[i].v == o.sregs[i].v {
+			out.sregs[i] = s.sregs[i]
+		}
+	}
+	return out
+}
+
+func (s absState) eq(o absState) bool { return s == o }
+
+// transfer applies one instruction to the abstract state.
+func transfer(in isa.Inst, s absState) absState {
+	setR := func(r uint8, v val) {
+		if int(r) < len(s.regs) {
+			s.regs[r] = v
+		}
+	}
+	setS := func(r uint8, v val) {
+		if int(r) < len(s.sregs) {
+			s.sregs[r] = v
+		}
+	}
+	getR := func(r uint8) val {
+		if int(r) < len(s.regs) {
+			return s.regs[r]
+		}
+		return val{}
+	}
+	getS := func(r uint8) val {
+		if int(r) < len(s.sregs) {
+			return s.sregs[r]
+		}
+		return val{}
+	}
+	binop := func(r uint8, rhs val, f func(a, b uint16) uint16) {
+		a := getR(r)
+		if a.known && rhs.known {
+			setR(r, val{true, f(a.v, rhs.v)})
+		} else {
+			setR(r, val{})
+		}
+	}
+
+	switch in.Op {
+	case isa.OpMovRI:
+		setR(in.R1, val{true, in.Imm})
+	case isa.OpMovRR:
+		setR(in.R1, getR(in.R2))
+	case isa.OpMovSR:
+		setS(in.R1, getR(in.R2))
+	case isa.OpMovRS:
+		setR(in.R1, getS(in.R2))
+	case isa.OpMovRM, isa.OpMovSM, isa.OpAddRM, isa.OpPopR, isa.OpPopS, isa.OpInI, isa.OpInDx:
+		// Loads and pops: destination unknown.
+		switch in.Op {
+		case isa.OpMovSM, isa.OpPopS:
+			setS(in.R1, val{})
+		case isa.OpInI, isa.OpInDx:
+			setR(uint8(isa.AX), val{})
+		default:
+			setR(in.R1, val{})
+		}
+	case isa.OpMovR8I, isa.OpMovR8R8:
+		// A byte-half write invalidates the containing word register.
+		if r8 := isa.Reg8(in.R1); r8.Valid() {
+			parent, _ := r8.Parent()
+			setR(uint8(parent), val{})
+		}
+	case isa.OpMulR8:
+		setR(uint8(isa.AX), val{})
+	case isa.OpAddRI:
+		binop(in.R1, val{true, in.Imm}, func(a, b uint16) uint16 { return a + b })
+	case isa.OpSubRI:
+		binop(in.R1, val{true, in.Imm}, func(a, b uint16) uint16 { return a - b })
+	case isa.OpAndRI:
+		binop(in.R1, val{true, in.Imm}, func(a, b uint16) uint16 { return a & b })
+	case isa.OpOrRI:
+		binop(in.R1, val{true, in.Imm}, func(a, b uint16) uint16 { return a | b })
+	case isa.OpShlRI:
+		binop(in.R1, val{true, in.Imm}, func(a, b uint16) uint16 { return a << (b & 15) })
+	case isa.OpShrRI:
+		binop(in.R1, val{true, in.Imm}, func(a, b uint16) uint16 { return a >> (b & 15) })
+	case isa.OpAddRR:
+		binop(in.R1, getR(in.R2), func(a, b uint16) uint16 { return a + b })
+	case isa.OpSubRR:
+		binop(in.R1, getR(in.R2), func(a, b uint16) uint16 { return a - b })
+	case isa.OpAndRR:
+		binop(in.R1, getR(in.R2), func(a, b uint16) uint16 { return a & b })
+	case isa.OpOrRR:
+		binop(in.R1, getR(in.R2), func(a, b uint16) uint16 { return a | b })
+	case isa.OpXorRR:
+		if in.R1 == in.R2 {
+			setR(in.R1, val{true, 0})
+		} else {
+			binop(in.R1, getR(in.R2), func(a, b uint16) uint16 { return a ^ b })
+		}
+	case isa.OpIncR:
+		binop(in.R1, val{true, 1}, func(a, b uint16) uint16 { return a + b })
+	case isa.OpDecR:
+		binop(in.R1, val{true, 1}, func(a, b uint16) uint16 { return a - b })
+	case isa.OpLea:
+		base := val{true, in.Mem.Disp}
+		if r, ok := in.Mem.Base.Reg(); ok {
+			b := getR(uint8(r))
+			if !b.known {
+				base = val{}
+			} else {
+				base = val{true, base.v + b.v}
+			}
+		}
+		setR(in.R1, base)
+	case isa.OpMovsb, isa.OpLodsb:
+		setR(uint8(isa.SI), advance(getR(uint8(isa.SI))))
+		if in.Op == isa.OpMovsb {
+			setR(uint8(isa.DI), advance(getR(uint8(isa.DI))))
+		} else {
+			setR(uint8(isa.AX), val{})
+		}
+	case isa.OpStosb:
+		setR(uint8(isa.DI), advance(getR(uint8(isa.DI))))
+	case isa.OpRepMovsb:
+		setR(uint8(isa.SI), val{})
+		setR(uint8(isa.DI), val{})
+		setR(uint8(isa.CX), val{true, 0})
+	case isa.OpInt:
+		// A software-interrupt handler may clobber anything.
+		return absState{}
+	case isa.OpCall:
+		setR(uint8(isa.SP), val{})
+	case isa.OpPushR, isa.OpPushI, isa.OpPushS, isa.OpPushf, isa.OpPopf:
+		setR(uint8(isa.SP), val{})
+	}
+	return s
+}
+
+// advance models a string op's pointer step with unknown direction
+// flag: the register stays unknown (DF may be either way from an
+// arbitrary configuration).
+func advance(v val) val { return val{} }
+
+// fixpoint computes per-offset input states by forward propagation to a
+// fixed point.
+func fixpoint(g *graph) map[int]absState {
+	in := map[int]absState{}
+	seen := map[int]bool{}
+	var work []int
+	for _, e := range g.entries {
+		if _, ok := g.nodes[e]; !ok {
+			continue
+		}
+		in[e] = absState{} // all unknown at entry
+		seen[e] = true
+		work = append(work, e)
+	}
+	for len(work) > 0 {
+		off := work[len(work)-1]
+		work = work[:len(work)-1]
+		n := g.nodes[off]
+		out := transfer(n.inst, in[off])
+		for _, s := range n.succs {
+			if _, ok := g.nodes[s]; !ok {
+				continue
+			}
+			var next absState
+			if seen[s] {
+				next = in[s].meet(out)
+			} else {
+				next = out
+			}
+			if !seen[s] || !next.eq(in[s]) {
+				in[s] = next
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// checkStores runs the constant propagation and reports every store
+// whose target provably intersects a ROM range.
+func checkStores(img *Image, g *graph, report func(string, int, string, ...any)) {
+	states := fixpoint(g)
+	for _, off := range g.order {
+		n := g.nodes[off]
+		s, ok := states[off]
+		if !ok {
+			continue
+		}
+		lo, hi, known := storeTarget(n.inst, s)
+		if !known {
+			continue
+		}
+		for _, r := range img.ROM {
+			if lo < r.End && r.Start < hi {
+				report("rom-store", off, "store provably targets ROM %s [%05x..%05x)", r.Name, r.Start, r.End)
+				break
+			}
+		}
+	}
+}
+
+// storeTarget returns the linear byte range a store instruction writes,
+// when the abstract state pins it down. For a known segment with an
+// unknown offset the range widens to the segment's full 64 KiB window —
+// still a proof, since real-mode offsets cannot leave it.
+func storeTarget(in isa.Inst, s absState) (lo, hi uint32, known bool) {
+	segWindow := func(seg val) (uint32, uint32, bool) {
+		if !seg.known {
+			return 0, 0, false
+		}
+		base := uint32(seg.v) << 4
+		return base, base + 0x10000, true
+	}
+	memTarget := func(m isa.MemOp, width uint32) (uint32, uint32, bool) {
+		seg := s.sregs[m.Seg]
+		if !seg.known {
+			return 0, 0, false
+		}
+		off := val{true, m.Disp}
+		if r, ok := m.Base.Reg(); ok {
+			b := s.regs[r]
+			if !b.known {
+				return segWindow(seg)
+			}
+			off = val{true, off.v + b.v}
+		}
+		base := uint32(seg.v)<<4 + uint32(off.v)
+		return base, base + width, true
+	}
+
+	switch in.Op {
+	case isa.OpMovMR, isa.OpMovMI, isa.OpMovMS:
+		return memTarget(in.Mem, 2)
+	case isa.OpStosb:
+		seg := s.sregs[isa.ES]
+		di := s.regs[isa.DI]
+		if seg.known && di.known {
+			base := uint32(seg.v)<<4 + uint32(di.v)
+			return base, base + 1, true
+		}
+		return segWindow(seg)
+	case isa.OpMovsb, isa.OpRepMovsb:
+		return segWindow(s.sregs[isa.ES])
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,38 @@
+package imglint_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ssos/internal/imglint"
+)
+
+// FuzzImageLint feeds arbitrary byte images through every check with
+// an adversarial spec: Check must never panic and must return the same
+// verdict for the same input.
+func FuzzImageLint(f *testing.F) {
+	f.Add([]byte{}, uint16(0), uint16(0), uint16(0))
+	f.Add([]byte{0x40, 0x00, 0x00}, uint16(0), uint16(3), uint16(0))
+	f.Add([]byte{0xFF, 0x00, 0x90, 0x40}, uint16(2), uint16(1), uint16(0x2000))
+	f.Add(make([]byte, 64), uint16(64), uint16(16), uint16(0xFFFF))
+	f.Fuzz(func(t *testing.T, img []byte, codeEnd, entry, cs uint16) {
+		spec := imglint.Image{
+			Name:         "fuzz",
+			Bytes:        img,
+			Seg:          0xF000,
+			Entries:      []imglint.Entry{{Name: "e", Off: entry}},
+			CodeEnd:      int(codeEnd),
+			CheckFill:    true,
+			FillTarget:   0,
+			SlotPadded:   true,
+			StraightLine: true,
+			Tables:       []imglint.Table{{Name: "t", Off: entry, Want: []uint16{cs}}},
+			CSAllowed:    []uint16{cs},
+			ROM:          []imglint.Range{{Name: "rom", Start: 0xF0000, End: 0x100000}},
+		}
+		first := imglint.Check(spec)
+		if again := imglint.Check(spec); !reflect.DeepEqual(first, again) {
+			t.Fatalf("verdict not deterministic:\n%v\nvs\n%v", first, again)
+		}
+	})
+}

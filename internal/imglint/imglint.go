@@ -1,0 +1,297 @@
+// Package imglint is a static verifier for assembled guest ROM images.
+//
+// The paper's Section 5 designs rest on properties that are *static*
+// facts about the bytes in ROM: every unused ROM byte is part of a
+// self-synchronizing `jmp start` fill (§5.1), primitive processes are
+// loop-free straight-line code (§5.1), padded code keeps one
+// instruction per 16-byte slot so any masked ip is an instruction
+// start (§5.2), and the scheduler confines each process's cs to the
+// ROM-resident processLimits table (Figure 5). The simulator exercises
+// these dynamically; imglint proves them by lifting the image into a
+// control-flow graph with internal/isa's decoder and checking each
+// invariant from every declared entry offset — the "ideal
+// stabilization" stance: a configuration that cannot be illegal needs
+// no convergence argument.
+//
+// imglint never executes anything and depends only on internal/isa, so
+// every layer above (guest builders, tests, cmd/ssos-lint,
+// cmd/ssos-verify) can lint the exact bytes it is about to install as
+// ROM. Check never panics on arbitrary input and its verdicts are
+// deterministic: the same Image yields the same findings in the same
+// order.
+package imglint
+
+import (
+	"fmt"
+	"sort"
+
+	"ssos/internal/isa"
+)
+
+// Entry is a declared legitimate execution entry offset: a hardwired
+// vector target (NMI, boot, exception) or a process start.
+type Entry struct {
+	Name string
+	Off  uint16
+}
+
+// Table is an expected data table embedded in the image (e.g. the
+// scheduler's processLimits): Want words, little-endian, at Off.
+type Table struct {
+	Name string
+	Off  uint16
+	Want []uint16
+}
+
+// Range is a linear address range [Start, End).
+type Range struct {
+	Name  string
+	Start uint32
+	End   uint32
+}
+
+// Image is one ROM image together with the invariants it must satisfy.
+// The zero value of each policy field disables the corresponding check,
+// so callers opt in to exactly the contract a builder promises.
+type Image struct {
+	// Name labels findings.
+	Name string
+	// Bytes is the image contents.
+	Bytes []byte
+	// Seg is the segment the image is based at (linear = Seg<<4).
+	Seg uint16
+	// Entries are the offsets execution may legitimately begin at.
+	// Every entry is lifted into the CFG; undecodable or escaping
+	// paths are findings.
+	Entries []Entry
+
+	// CodeEnd is the first offset past real code. The CFG must stay
+	// inside [0, CodeEnd); jump targets at or past it are findings.
+	// 0 means len(Bytes).
+	CodeEnd int
+
+	// CheckFill requires every byte of [CodeEnd, FillEnd) to belong to
+	// the self-synchronizing fill: decoding from ANY fill offset must
+	// reach a `jmp FillTarget` within the region (§5.1 "add a jmp
+	// command ... in every unused rom location"). FillEnd 0 means
+	// len(Bytes).
+	CheckFill  bool
+	FillEnd    int
+	FillTarget uint16
+
+	// SlotPadded asserts §5.2 slot discipline: CodeEnd is a multiple
+	// of isa.SlotSize, every slot boundary in [0, CodeEnd) starts a
+	// valid instruction that fits its slot, and every CFG jump target
+	// is slot-aligned — together the closure property that makes the
+	// scheduler's ip masking always resume at an instruction start.
+	SlotPadded bool
+
+	// StraightLine asserts §5.1 process restrictions: no backward
+	// control transfer except `jmp FillTarget`, and none of the
+	// forbidden instruction classes (stack ops, call/ret, loop, hlt,
+	// iret, int).
+	StraightLine bool
+
+	// Tables are embedded data tables checked word-for-word.
+	Tables []Table
+
+	// CSAllowed lists the code segments far control transfers may
+	// target (far jumps, and constant cs words pushed for iret). Empty
+	// disables the check.
+	CSAllowed []uint16
+
+	// ROM lists linear ROM ranges; any store the constant-propagation
+	// pass can prove targets one of them is a finding (ROM is
+	// incorruptible by contract — a guest store aimed at it is a bug,
+	// not a fault).
+	ROM []Range
+}
+
+// Finding is one invariant violation, anchored at an image offset
+// (-1 when the finding is not offset-specific).
+type Finding struct {
+	Image  string
+	Check  string
+	Offset int
+	Msg    string
+}
+
+func (f Finding) String() string {
+	if f.Offset >= 0 {
+		return fmt.Sprintf("%s+%#04x: %s: %s", f.Image, f.Offset, f.Check, f.Msg)
+	}
+	return fmt.Sprintf("%s: %s: %s", f.Image, f.Check, f.Msg)
+}
+
+// codeEnd resolves the effective code boundary.
+func (img *Image) codeEnd() int {
+	if img.CodeEnd > 0 {
+		return img.CodeEnd
+	}
+	return len(img.Bytes)
+}
+
+// fillEnd resolves the effective fill boundary.
+func (img *Image) fillEnd() int {
+	if img.FillEnd > 0 {
+		return img.FillEnd
+	}
+	return len(img.Bytes)
+}
+
+// Check verifies every enabled invariant and returns the findings
+// sorted by (check, offset). It never panics: arbitrary bytes and
+// inconsistent specs yield findings, not crashes.
+func Check(img Image) []Finding {
+	var fs []Finding
+	report := func(check string, off int, format string, args ...any) {
+		fs = append(fs, Finding{
+			Image:  img.Name,
+			Check:  check,
+			Offset: off,
+			Msg:    fmt.Sprintf(format, args...),
+		})
+	}
+
+	if len(img.Bytes) == 0 {
+		report("spec", -1, "image is empty")
+		return fs
+	}
+	ce := img.codeEnd()
+	if ce > len(img.Bytes) {
+		report("spec", -1, "CodeEnd %#x exceeds image size %#x", ce, len(img.Bytes))
+		ce = len(img.Bytes)
+	}
+	fe := img.fillEnd()
+	if fe > len(img.Bytes) {
+		report("spec", -1, "FillEnd %#x exceeds image size %#x", fe, len(img.Bytes))
+		fe = len(img.Bytes)
+	}
+	for _, e := range img.Entries {
+		if int(e.Off) >= ce {
+			report("entry", int(e.Off), "entry %q outside code region [0, %#x)", e.Name, ce)
+		}
+	}
+
+	if img.CheckFill && fe > ce {
+		checkFill(&img, ce, fe, report)
+	}
+	if img.SlotPadded {
+		checkSlots(&img, ce, report)
+	}
+	for _, t := range img.Tables {
+		checkTable(&img, t, report)
+	}
+
+	g := lift(&img, ce, report)
+	if img.StraightLine {
+		checkStraightLine(&img, g, report)
+	}
+	if img.SlotPadded {
+		checkSlotTargets(&img, g, report)
+	}
+	if len(img.CSAllowed) > 0 {
+		checkCS(&img, g, report)
+	}
+	if len(img.ROM) > 0 {
+		checkStores(&img, g, report)
+	}
+
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Check != fs[j].Check {
+			return fs[i].Check < fs[j].Check
+		}
+		if fs[i].Offset != fs[j].Offset {
+			return fs[i].Offset < fs[j].Offset
+		}
+		return fs[i].Msg < fs[j].Msg
+	})
+	return fs
+}
+
+// checkFill proves Theorem 5.1's premise for [ce, fe): a decode walk
+// entering the fill at any byte reaches `jmp FillTarget` within the
+// region. The only tolerated escape is the final jmp's operand tail —
+// trailing zero (nop) bytes that slide past an image whose fill runs
+// to the very end; when the fill is followed by more image (a data
+// section), no escape is legal.
+func checkFill(img *Image, ce, fe int, report func(string, int, string, ...any)) {
+	for off := ce; off < fe; off++ {
+		pos := off
+		for {
+			if pos >= fe {
+				// Walked past the fill without completing a jmp. The
+				// final jmp's two operand bytes are the one inherent
+				// escape of the 3-byte pattern (FillRegion documents
+				// it); anything wider is a coverage hole.
+				if fe-off <= 2 && allZero(img.Bytes[off:fe]) {
+					break
+				}
+				report("fill-coverage", off, "decode walk escapes the fill region at %#x without reaching jmp %#x", pos, img.FillTarget)
+				break
+			}
+			b := img.Bytes[pos]
+			if b == byte(isa.OpNop) {
+				pos++
+				continue
+			}
+			if b != byte(isa.OpJmp) {
+				report("fill-coverage", off, "fill byte %#02x at %#x is neither nop nor jmp", b, pos)
+				break
+			}
+			if pos+2 >= fe {
+				report("fill-coverage", off, "truncated jmp at %#x", pos)
+				break
+			}
+			target := uint16(img.Bytes[pos+1]) | uint16(img.Bytes[pos+2])<<8
+			if target != img.FillTarget {
+				report("fill-coverage", off, "fill jmp at %#x targets %#x, want %#x", pos, target, img.FillTarget)
+			}
+			break
+		}
+	}
+}
+
+// checkSlots proves the §5.2 mask-closure property: CodeEnd is
+// slot-aligned and every slot boundary in [0, CodeEnd) starts a valid
+// instruction that fits inside its slot, so `(ip+15) & ^15` always
+// resumes at an instruction start.
+func checkSlots(img *Image, ce int, report func(string, int, string, ...any)) {
+	if ce%isa.SlotSize != 0 {
+		report("slot-align", ce, "code end %#x is not a multiple of the %d-byte slot size", ce, isa.SlotSize)
+	}
+	for off := 0; off+isa.SlotSize <= ce; off += isa.SlotSize {
+		_, size, ok := isa.Decode(img.Bytes[off:ce])
+		if !ok {
+			report("slot-align", off, "slot boundary does not decode to a valid instruction")
+			continue
+		}
+		if size > isa.SlotSize {
+			report("slot-align", off, "instruction of %d bytes overflows its %d-byte slot", size, isa.SlotSize)
+		}
+	}
+}
+
+// checkTable verifies an embedded data table word-for-word.
+func checkTable(img *Image, t Table, report func(string, int, string, ...any)) {
+	for i, want := range t.Want {
+		off := int(t.Off) + 2*i
+		if off+1 >= len(img.Bytes) {
+			report("table-content", off, "table %q entry %d extends past the image", t.Name, i)
+			return
+		}
+		got := uint16(img.Bytes[off]) | uint16(img.Bytes[off+1])<<8
+		if got != want {
+			report("table-content", off, "table %q entry %d is %#x, want %#x", t.Name, i, got, want)
+		}
+	}
+}
+
+func allZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,358 @@
+package imglint_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ssos/internal/imglint"
+	"ssos/internal/isa"
+)
+
+// enc concatenates the encodings of a synthetic instruction sequence.
+func enc(ins ...isa.Inst) []byte {
+	var b []byte
+	for _, in := range ins {
+		b = in.Encode(b)
+	}
+	return b
+}
+
+func findings(img imglint.Image, check string) []imglint.Finding {
+	var out []imglint.Finding
+	for _, f := range imglint.Check(img) {
+		if f.Check == check {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// jmp0Fill appends 3-byte jmp-0 patterns laid backward from size, the
+// FillRegion layout.
+func jmp0Fill(code []byte, size int) []byte {
+	img := make([]byte, size)
+	copy(img, code)
+	for pos := size - 3; pos >= len(code); pos -= 3 {
+		img[pos] = byte(isa.OpJmp)
+	}
+	return img
+}
+
+func TestCleanImagePasses(t *testing.T) {
+	code := enc(
+		isa.Inst{Op: isa.OpMovRI, R1: uint8(isa.AX), Imm: 0x6000},
+		isa.Inst{Op: isa.OpMovSR, R1: uint8(isa.DS), R2: uint8(isa.AX)},
+		isa.Inst{Op: isa.OpIncR, R1: uint8(isa.AX)},
+		isa.Inst{Op: isa.OpJmp, Imm: 0},
+	)
+	img := imglint.Image{
+		Name:         "clean",
+		Bytes:        jmp0Fill(code, 64),
+		Seg:          0xF000,
+		Entries:      []imglint.Entry{{Name: "start", Off: 0}},
+		CodeEnd:      len(code),
+		CheckFill:    true,
+		FillTarget:   0,
+		StraightLine: true,
+		ROM:          []imglint.Range{{Name: "rom", Start: 0xF0000, End: 0x100000}},
+	}
+	if fs := imglint.Check(img); len(fs) != 0 {
+		t.Fatalf("clean image has findings: %v", fs)
+	}
+}
+
+func TestFillCoverageFlagsForeignByte(t *testing.T) {
+	code := enc(isa.Inst{Op: isa.OpJmp, Imm: 0})
+	img := jmp0Fill(code, 30)
+	img[10] = 0xFF // not an opcode, certainly not nop/jmp
+	spec := imglint.Image{
+		Name: "fill", Bytes: img, Entries: []imglint.Entry{{Off: 0}},
+		CodeEnd: len(code), CheckFill: true, FillTarget: 0,
+	}
+	fs := findings(spec, "fill-coverage")
+	if len(fs) == 0 {
+		t.Fatal("foreign fill byte not flagged")
+	}
+	// Walks entering at the preceding nops are flagged too; the
+	// corrupted byte itself must be among the named offsets.
+	var hit bool
+	for _, f := range fs {
+		if f.Offset == 10 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("corrupted offset 0x0a not named: %v", fs)
+	}
+}
+
+func TestFillCoverageFlagsWrongTarget(t *testing.T) {
+	code := enc(isa.Inst{Op: isa.OpJmp, Imm: 0})
+	img := jmp0Fill(code, 30)
+	// Redirect one fill jmp: operand bytes follow the opcode.
+	img[len(img)-2] = 0x34
+	spec := imglint.Image{
+		Name: "fill", Bytes: img, Entries: []imglint.Entry{{Off: 0}},
+		CodeEnd: len(code), CheckFill: true, FillTarget: 0,
+	}
+	if len(findings(spec, "fill-coverage")) == 0 {
+		t.Fatal("retargeted fill jmp not flagged")
+	}
+}
+
+func TestSlotAlignFlagsMisalignedCode(t *testing.T) {
+	// Three 4-byte movs: code end 12 is not a slot multiple.
+	code := enc(
+		isa.Inst{Op: isa.OpMovRI, R1: uint8(isa.AX), Imm: 1},
+		isa.Inst{Op: isa.OpMovRI, R1: uint8(isa.BX), Imm: 2},
+		isa.Inst{Op: isa.OpMovRI, R1: uint8(isa.CX), Imm: 3},
+	)
+	spec := imglint.Image{
+		Name: "slots", Bytes: code, Entries: []imglint.Entry{{Off: 0}},
+		SlotPadded: true,
+	}
+	if len(findings(spec, "slot-align")) == 0 {
+		t.Fatal("misaligned code end not flagged")
+	}
+}
+
+func TestSlotAlignFlagsUnalignedJumpTarget(t *testing.T) {
+	// One slot: mov (4 bytes) + jmp 4 (unaligned target) + nops.
+	code := make([]byte, 16)
+	copy(code, enc(
+		isa.Inst{Op: isa.OpMovRI, R1: uint8(isa.AX), Imm: 1},
+		isa.Inst{Op: isa.OpJmp, Imm: 4},
+	))
+	spec := imglint.Image{
+		Name: "slots", Bytes: code, Entries: []imglint.Entry{{Off: 0}},
+		SlotPadded: true,
+	}
+	var hit bool
+	for _, f := range findings(spec, "slot-align") {
+		if f.Offset == 4 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("unaligned jump target not flagged")
+	}
+}
+
+func TestLoopFreedomFlagsBackwardEdgeAndForbiddenOps(t *testing.T) {
+	// inc; jmp 4 (back to the inc, not to FillTarget 0); hlt.
+	code := enc(
+		isa.Inst{Op: isa.OpMovRI, R1: uint8(isa.AX), Imm: 1}, // 0..3
+		isa.Inst{Op: isa.OpIncR, R1: uint8(isa.AX)},          // 4..5
+		isa.Inst{Op: isa.OpJe, Imm: 4},                       // 6..8: backward edge
+		isa.Inst{Op: isa.OpHlt},                              // 9: forbidden
+		isa.Inst{Op: isa.OpJmp, Imm: 0},                      // 10..12
+	)
+	spec := imglint.Image{
+		Name: "straight", Bytes: code, Entries: []imglint.Entry{{Off: 0}},
+		StraightLine: true, FillTarget: 0,
+	}
+	fs := findings(spec, "loop-freedom")
+	var backward, forbidden bool
+	for _, f := range fs {
+		if f.Offset == 6 {
+			backward = true
+		}
+		if f.Offset == 9 {
+			forbidden = true
+		}
+	}
+	if !backward {
+		t.Errorf("backward conditional edge not flagged: %v", fs)
+	}
+	if !forbidden {
+		t.Errorf("hlt in straight-line code not flagged: %v", fs)
+	}
+}
+
+func TestReachabilityFlagsUndecodableEntryAndEscapingJump(t *testing.T) {
+	code := enc(isa.Inst{Op: isa.OpJmp, Imm: 0x200}) // target beyond code
+	code = append(code, 0xFF)                        // undecodable
+	spec := imglint.Image{
+		Name:  "reach",
+		Bytes: code,
+		Entries: []imglint.Entry{
+			{Name: "a", Off: 0},
+			{Name: "b", Off: 3},
+		},
+	}
+	fs := findings(spec, "reachability")
+	if len(fs) != 2 {
+		t.Fatalf("want 2 reachability findings (escaping jump, undecodable), got %v", fs)
+	}
+}
+
+func TestTableContentFlagsWrongWord(t *testing.T) {
+	code := enc(isa.Inst{Op: isa.OpJmp, Imm: 0})
+	img := append(code, 0x00, 0x50, 0x00, 0x51) // table: 0x5000, 0x5100
+	spec := imglint.Image{
+		Name: "table", Bytes: img, Entries: []imglint.Entry{{Off: 0}},
+		CodeEnd: len(code),
+		Tables: []imglint.Table{
+			{Name: "limits", Off: uint16(len(code)), Want: []uint16{0x5000, 0x5200}},
+		},
+	}
+	fs := findings(spec, "table-content")
+	if len(fs) != 1 {
+		t.Fatalf("want 1 table finding, got %v", fs)
+	}
+	if fs[0].Offset != len(code)+2 {
+		t.Errorf("finding at %#x, want %#x", fs[0].Offset, len(code)+2)
+	}
+}
+
+func TestCSConfinementFlagsFarJumpAndIretFrame(t *testing.T) {
+	code := enc(
+		isa.Inst{Op: isa.OpJmpFar, Imm: 0x7777, Imm2: 0}, // far jump to foreign seg
+	)
+	spec := imglint.Image{
+		Name: "cs", Bytes: code, Entries: []imglint.Entry{{Off: 0}},
+		CSAllowed: []uint16{0x2000},
+	}
+	if len(findings(spec, "cs-confinement")) == 0 {
+		t.Fatal("foreign far jump not flagged")
+	}
+
+	frame := enc(
+		isa.Inst{Op: isa.OpPushI, Imm: 0x02},   // flags
+		isa.Inst{Op: isa.OpPushI, Imm: 0x7777}, // cs: not allowed
+		isa.Inst{Op: isa.OpPushI, Imm: 0x00},   // ip
+		isa.Inst{Op: isa.OpIret},
+	)
+	spec = imglint.Image{
+		Name: "cs", Bytes: frame, Entries: []imglint.Entry{{Off: 0}},
+		CSAllowed: []uint16{0x2000},
+	}
+	if len(findings(spec, "cs-confinement")) == 0 {
+		t.Fatal("iret frame pushing foreign cs not flagged")
+	}
+
+	// The same frame with an allowed cs is clean.
+	frame = enc(
+		isa.Inst{Op: isa.OpPushI, Imm: 0x02},
+		isa.Inst{Op: isa.OpPushI, Imm: 0x2000},
+		isa.Inst{Op: isa.OpPushI, Imm: 0x00},
+		isa.Inst{Op: isa.OpIret},
+	)
+	spec.Bytes = frame
+	if fs := findings(spec, "cs-confinement"); len(fs) != 0 {
+		t.Fatalf("allowed iret frame flagged: %v", fs)
+	}
+}
+
+func TestROMStoreFlagsProvableStore(t *testing.T) {
+	// mov ax, 0xE000; mov ds, ax; mov word [5], 1 — a store the constant
+	// propagation can prove lands at linear 0xE0005, inside ROM.
+	code := enc(
+		isa.Inst{Op: isa.OpMovRI, R1: uint8(isa.AX), Imm: 0xE000},
+		isa.Inst{Op: isa.OpMovSR, R1: uint8(isa.DS), R2: uint8(isa.AX)},
+		isa.Inst{Op: isa.OpMovMI, Mem: isa.MemOp{Seg: isa.DS, Disp: 5}, Imm: 1},
+		isa.Inst{Op: isa.OpHlt},
+	)
+	spec := imglint.Image{
+		Name: "store", Bytes: code, Entries: []imglint.Entry{{Off: 0}},
+		ROM: []imglint.Range{{Name: "os-image", Start: 0xE0000, End: 0xE0E40}},
+	}
+	fs := findings(spec, "rom-store")
+	if len(fs) != 1 {
+		t.Fatalf("want 1 rom-store finding, got %v", fs)
+	}
+
+	// The same store with an unknown segment is not provable: no finding.
+	code = enc(
+		isa.Inst{Op: isa.OpMovMI, Mem: isa.MemOp{Seg: isa.DS, Disp: 5}, Imm: 1},
+		isa.Inst{Op: isa.OpHlt},
+	)
+	spec.Bytes = code
+	if fs := findings(spec, "rom-store"); len(fs) != 0 {
+		t.Fatalf("unprovable store flagged: %v", fs)
+	}
+}
+
+func TestROMStoreSurvivesJoin(t *testing.T) {
+	// Two paths set ds to the same ROM segment; the store after the join
+	// is still provable.
+	code := enc(
+		isa.Inst{Op: isa.OpMovRI, R1: uint8(isa.AX), Imm: 0xE000}, // 0..3
+		isa.Inst{Op: isa.OpJe, Imm: 8},                            // 4..6
+		isa.Inst{Op: isa.OpNop},                                   // 7
+		isa.Inst{Op: isa.OpMovSR, R1: uint8(isa.DS), R2: uint8(isa.AX)}, // 8..10 join
+		isa.Inst{Op: isa.OpMovMI, Mem: isa.MemOp{Seg: isa.DS, Disp: 0}, Imm: 1},
+		isa.Inst{Op: isa.OpHlt},
+	)
+	spec := imglint.Image{
+		Name: "join", Bytes: code, Entries: []imglint.Entry{{Off: 0}},
+		ROM: []imglint.Range{{Name: "rom", Start: 0xE0000, End: 0xF0000}},
+	}
+	if len(findings(spec, "rom-store")) == 0 {
+		t.Fatal("store after equal-constant join not flagged")
+	}
+}
+
+func TestEntryOutsideCodeFlagged(t *testing.T) {
+	code := enc(isa.Inst{Op: isa.OpHlt})
+	spec := imglint.Image{
+		Name: "entry", Bytes: code,
+		Entries: []imglint.Entry{{Name: "bad", Off: 40}},
+	}
+	if len(findings(spec, "entry")) == 0 {
+		t.Fatal("out-of-code entry not flagged")
+	}
+}
+
+func TestEmptyAndInconsistentSpecs(t *testing.T) {
+	if fs := imglint.Check(imglint.Image{Name: "empty"}); len(fs) != 1 || fs[0].Check != "spec" {
+		t.Fatalf("empty image: got %v", fs)
+	}
+	spec := imglint.Image{
+		Name: "bounds", Bytes: []byte{byte(isa.OpHlt)},
+		CodeEnd: 99, FillEnd: 99, CheckFill: true,
+		Entries: []imglint.Entry{{Off: 0}},
+	}
+	if fs := findings(spec, "spec"); len(fs) != 2 {
+		t.Fatalf("out-of-range CodeEnd/FillEnd: got %v", imglint.Check(spec))
+	}
+}
+
+func TestVerdictsDeterministic(t *testing.T) {
+	code := enc(
+		isa.Inst{Op: isa.OpJmp, Imm: 0x300},
+		isa.Inst{Op: isa.OpHlt},
+	)
+	img := jmp0Fill(code, 40)
+	img[20] = 0xEE
+	spec := imglint.Image{
+		Name: "det", Bytes: img,
+		Entries:      []imglint.Entry{{Off: 0}, {Off: 4}},
+		CodeEnd:      len(code),
+		CheckFill:    true,
+		StraightLine: true,
+		SlotPadded:   true,
+		CSAllowed:    []uint16{1},
+		ROM:          []imglint.Range{{Start: 0, End: 0x100000}},
+	}
+	first := imglint.Check(spec)
+	for i := 0; i < 10; i++ {
+		if again := imglint.Check(spec); !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d differs:\n%v\nvs\n%v", i, first, again)
+		}
+	}
+	if len(first) == 0 {
+		t.Fatal("expected findings from the deliberately broken spec")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := imglint.Finding{Image: "img", Check: "fill-coverage", Offset: 0x123, Msg: "boom"}
+	if got, want := f.String(), "img+0x0123: fill-coverage: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	f.Offset = -1
+	if got, want := f.String(), "img: fill-coverage: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
