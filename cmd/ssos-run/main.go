@@ -25,22 +25,11 @@ import (
 	"ssos/internal/core"
 	"ssos/internal/fault"
 	"ssos/internal/guest"
-	"ssos/internal/mem"
 	"ssos/internal/obs"
 	"ssos/internal/pool"
+	"ssos/internal/serve"
 	"ssos/internal/trace"
 )
-
-var approaches = map[string]core.Approach{
-	"baseline":   core.ApproachBaseline,
-	"reinstall":  core.ApproachReinstall,
-	"continue":   core.ApproachContinue,
-	"monitor":    core.ApproachMonitor,
-	"primitive":  core.ApproachPrimitive,
-	"scheduler":  core.ApproachScheduler,
-	"checkpoint": core.ApproachCheckpoint,
-	"adaptive":   core.ApproachAdaptive,
-}
 
 func main() {
 	approach := flag.String("approach", "reinstall", "system design: baseline|reinstall|continue|monitor|primitive|scheduler|checkpoint|adaptive")
@@ -73,16 +62,19 @@ func main() {
 		defer writeHeapProfile(*memprofile)
 	}
 
-	a, ok := approaches[*approach]
+	// The named-image catalog in internal/serve is the construction
+	// path shared with the service daemon: both resolve the same image
+	// and feed it through core.New, which is what keeps a served
+	// session's event stream byte-identical to this CLI's.
+	img, ok := serve.LookupImage(*approach)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "ssos-run: unknown approach %q\n", *approach)
 		os.Exit(2)
 	}
-	cfg := core.Config{
-		Approach:          a,
-		WatchdogPeriod:    uint32(*period),
-		DisableNMICounter: *stock,
-	}
+	a := img.Cfg.Approach
+	cfg := img.Cfg
+	cfg.WatchdogPeriod = uint32(*period)
+	cfg.DisableNMICounter = *stock
 	if *ring {
 		cfg.Workload = core.WorkloadTokenRing
 	}
@@ -110,7 +102,7 @@ func main() {
 	faultStep := s.Steps()
 	if *faultKind != "none" {
 		inj := fault.NewInjector(s.M, *seed)
-		if err := inject(s, inj, *faultKind); err != nil {
+		if err := serve.InjectFault(s, inj, *faultKind); err != nil {
 			fmt.Fprintln(os.Stderr, "ssos-run:", err)
 			os.Exit(2)
 		}
@@ -242,29 +234,4 @@ func reportStream(name string, s *core.System, faultStep uint64) {
 	} else {
 		fmt.Println("  NOT recovered by end of run")
 	}
-}
-
-func inject(s *core.System, inj *fault.Injector, kind string) error {
-	switch kind {
-	case "bitflip":
-		inj.FlipRAMBit()
-	case "os-blast":
-		inj.RandomizeRegion(mem.Region{Name: "os", Start: uint32(guest.OSSeg) << 4, Size: guest.ImageSize})
-	case "cpu-blast":
-		inj.BlastCPU()
-	case "pc":
-		inj.CorruptIP()
-		inj.CorruptSegment()
-	case "all-ram":
-		inj.BlastRAM()
-	case "table-blast":
-		inj.RandomizeRegion(mem.Region{Name: "table", Start: uint32(guest.SchedSeg) << 4,
-			Size: guest.ProcessTableOff + guest.NumProcs*guest.ProcessEntrySize})
-	case "proc-code":
-		inj.RandomizeRegion(mem.Region{Name: "p0",
-			Start: uint32(guest.ProcCodeSeg(0)) << 4, Size: guest.ProcRegionSize})
-	default:
-		return fmt.Errorf("unknown fault %q", kind)
-	}
-	return nil
 }

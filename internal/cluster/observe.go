@@ -81,6 +81,35 @@ func (c *Cluster) emitEviction(epoch int, replica, donor int, reason string) {
 	})
 }
 
+// MetricsSnapshot returns the cluster's aggregated stabilization
+// metrics as a fresh registry — the master collector's registry plus
+// every replica's, with the per-replica availability gauges — without
+// mutating any collector state. Unlike FinishObservability it is safe
+// to call repeatedly mid-run (between epochs), which is what lets a
+// served session export metrics on demand; the two produce identical
+// registries when taken at the same point. The caller must not run
+// epochs concurrently (replica registries are read unlocked).
+func (c *Cluster) MetricsSnapshot() *obs.Metrics {
+	col := c.cfg.Collector
+	if col == nil {
+		return obs.NewMetrics()
+	}
+	m := col.MetricsSnapshot()
+	for _, r := range c.replicas {
+		m.Merge(r.col.Metrics)
+	}
+	s := c.Summary()
+	if s.Epochs == 0 {
+		return m
+	}
+	for i, ev := range s.PerReplica {
+		avail := 1 - float64(ev)/float64(s.Epochs)
+		m.SetGauge("replica."+strconv.Itoa(i)+".availability", avail)
+	}
+	m.Add("cluster.fresh_boots", uint64(s.FreshBoots))
+	return m
+}
+
 // FinishObservability folds the per-replica registries into the master
 // collector's (in replica order) and sets the cluster gauges —
 // per-replica availability (the fraction of epochs the replica was not

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
 )
 
 // Type classifies a structured event.
@@ -169,17 +170,36 @@ type Probe interface {
 }
 
 // Collector is the standard Probe: it buffers the event stream in
-// emission order and folds each event into a metrics registry. A
-// Collector is single-goroutine (one per replica or per system); the
-// cluster merges collectors deterministically in replica order.
+// emission order and folds each event into a metrics registry.
+// Emission is typically single-goroutine (one collector per replica or
+// per system), but every method is safe for concurrent use: a mutex
+// guards the buffer and the registry folds, and readers receive
+// snapshots. That is what lets a served session stream and export its
+// event log from other goroutines while the run loop is still emitting.
+//
+// The one concurrency carve-out is direct access to the Metrics field:
+// code that writes the live registry from outside (core.ExportMetrics
+// in the batch CLIs, the cluster's FinishObservability merge) must do
+// so from the emitting goroutine after emission has stopped — the
+// concurrent path is MetricsSnapshot.
 type Collector struct {
 	// Replica and Epoch tag incoming events that carry no scope of
 	// their own (machine-level emissions). -1 leaves events unscoped.
+	// They are configuration, set before emission starts, not guarded
+	// by the mutex.
 	Replica int
 	Epoch   int
 	// Metrics is the registry events are folded into.
 	Metrics *Metrics
+	// Hook, when non-nil, is invoked for every event entering the
+	// buffer (Emit and Append alike) with the event's buffer index —
+	// the cursor a reader would pass to EventsSince to start at that
+	// event. It is called under the collector lock, so hooks must be
+	// cheap and must not call back into the collector; the serve layer
+	// uses it to fan events out to live SSE subscribers.
+	Hook func(idx int, e Event)
 
+	mu     sync.Mutex
 	events []Event
 }
 
@@ -196,8 +216,13 @@ func (c *Collector) Emit(e Event) {
 	if e.Epoch < 0 {
 		e.Epoch = c.Epoch
 	}
+	c.mu.Lock()
 	c.events = append(c.events, e)
 	c.observe(e)
+	if c.Hook != nil {
+		c.Hook(len(c.events)-1, e)
+	}
+	c.mu.Unlock()
 }
 
 // Append splices pre-scoped events verbatim WITHOUT folding them into
@@ -206,7 +231,14 @@ func (c *Collector) Emit(e Event) {
 // own registries, which are aggregated separately via Metrics.Merge in
 // replica order.
 func (c *Collector) Append(events ...Event) {
-	c.events = append(c.events, events...)
+	c.mu.Lock()
+	for _, e := range events {
+		c.events = append(c.events, e)
+		if c.Hook != nil {
+			c.Hook(len(c.events)-1, e)
+		}
+	}
+	c.mu.Unlock()
 }
 
 // observe folds one event into the metrics registry.
@@ -248,20 +280,52 @@ func (c *Collector) observe(e Event) {
 	}
 }
 
-// Events returns the buffered stream in emission order.
-func (c *Collector) Events() []Event { return c.events }
+// Events returns a snapshot of the buffered stream in emission order.
+func (c *Collector) Events() []Event { return c.EventsSince(0) }
+
+// EventsSince returns a snapshot of the buffered events from the given
+// cursor (a buffer index) onward. Cursors beyond the buffer yield nil,
+// so a poller can hand back the count from its previous call verbatim.
+func (c *Collector) EventsSince(cursor int) []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor >= len(c.events) {
+		return nil
+	}
+	return append([]Event(nil), c.events[cursor:]...)
+}
+
+// Len returns the number of buffered events.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
 
 // Drain returns the buffered events and clears the buffer (metrics are
 // untouched — they aggregate over the collector's whole lifetime).
 func (c *Collector) Drain() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := c.events
 	c.events = nil
 	return out
 }
 
+// MetricsSnapshot returns a deep copy of the registry, taken under the
+// collector lock so it is consistent even while emission continues.
+func (c *Collector) MetricsSnapshot() *Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Metrics.Snapshot()
+}
+
 // WriteJSONL writes the buffered events as JSON lines.
 func (c *Collector) WriteJSONL(w io.Writer) error {
-	return WriteJSONL(w, c.events)
+	return WriteJSONL(w, c.EventsSince(0))
 }
 
 // WriteJSONL renders events one JSON object per line.

@@ -2,7 +2,10 @@ package obs
 
 import (
 	"bytes"
+	"io"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -207,5 +210,97 @@ func TestDrainKeepsMetrics(t *testing.T) {
 	}
 	if c.Metrics.Counter("machine.nmis") != 1 {
 		t.Fatal("metrics lost on drain")
+	}
+}
+
+// TestCollectorConcurrentAccess hammers one collector from emitters,
+// drainers and readers at once. It asserts nothing beyond conservation
+// of events (every emitted event is seen exactly once across drains and
+// the final buffer) — its real teeth are `go test -race`, which fails
+// the build on any unsynchronized access. This is the contract the
+// serve layer's streaming path depends on.
+func TestCollectorConcurrentAccess(t *testing.T) {
+	c := NewCollector()
+	const emitters = 4
+	const perEmitter = 500
+	const emitted = emitters * perEmitter
+	var emitWg, bgWg sync.WaitGroup
+	var drained atomic.Int64
+	stop := make(chan struct{})
+
+	for e := 0; e < emitters; e++ {
+		emitWg.Add(1)
+		go func(e int) {
+			defer emitWg.Done()
+			for i := 0; i < perEmitter; i++ {
+				c.Emit(Ev(uint64(e*perEmitter+i), TypeNMI))
+			}
+		}(e)
+	}
+	bgWg.Add(1)
+	go func() { // drainer
+		defer bgWg.Done()
+		for {
+			drained.Add(int64(len(c.Drain())))
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	bgWg.Add(1)
+	go func() { // readers: snapshots, cursors, JSONL render, metrics
+		defer bgWg.Done()
+		for {
+			_ = c.Events()
+			_ = c.EventsSince(c.Len() / 2)
+			_ = c.WriteJSONL(io.Discard)
+			_ = c.MetricsSnapshot().Counter("machine.nmis")
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	emitWg.Wait()
+	close(stop)
+	bgWg.Wait()
+
+	total := drained.Add(int64(len(c.Drain())))
+	if total != emitted {
+		t.Fatalf("event conservation: drained %d, emitted %d", total, emitted)
+	}
+	if got := c.MetricsSnapshot().Counter("machine.nmis"); got != emitted {
+		t.Fatalf("metrics: %d NMIs folded, want %d", got, emitted)
+	}
+}
+
+// TestCollectorHookSeesEveryEventWithItsCursor pins the Hook contract:
+// called once per event, Emit and Append alike, with the event's buffer
+// index — the cursor EventsSince would need to start at that event.
+func TestCollectorHookSeesEveryEventWithItsCursor(t *testing.T) {
+	c := NewCollector()
+	var idxs []int
+	var steps []uint64
+	c.Hook = func(idx int, e Event) {
+		idxs = append(idxs, idx)
+		steps = append(steps, e.Step)
+	}
+	c.Emit(Ev(10, TypeNMI))
+	c.Append(Ev(20, TypeIRQ), Ev(30, TypeReset))
+	c.Emit(Ev(40, TypeException))
+	if len(idxs) != 4 {
+		t.Fatalf("hook calls: %d, want 4", len(idxs))
+	}
+	for i, idx := range idxs {
+		if idx != i {
+			t.Fatalf("hook idx[%d] = %d, want %d", i, idx, i)
+		}
+		if got := c.EventsSince(idx); got[0].Step != steps[i] {
+			t.Fatalf("EventsSince(%d) starts at step %d, want %d", idx, got[0].Step, steps[i])
+		}
 	}
 }

@@ -12,6 +12,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -72,6 +73,84 @@ func ForEach(n int, run func(i int) interface{}, collect func(i int, result inte
 // index in [0, n) across the worker pool and returns when all are done.
 func Run(n int, fn func(i int)) {
 	ForEach(n, func(i int) interface{} {
+		fn(i)
+		return nil
+	}, nil)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is
+// done, no further jobs are dispatched (jobs already started run to
+// completion — the pool never interrupts a job midway). collect is
+// still called on the caller's goroutine in index order, but only for
+// jobs that actually ran, so a cancelled fan-out yields a clean prefix
+// plus possibly a few in-flight indices rather than partial results.
+// Returns ctx.Err() when cancellation cut the dispatch short, nil when
+// every job ran. A ctx that is already done dispatches nothing.
+func ForEachCtx(ctx context.Context, n int, run func(i int) interface{}, collect func(i int, result interface{})) error {
+	workers := runtime.GOMAXPROCS(0)
+	if Workers > 0 {
+		workers = Workers
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			r := run(i)
+			if collect != nil {
+				collect(i, r)
+			}
+		}
+		return nil
+	}
+	results := make([]interface{}, n)
+	ran := make([]bool, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = run(i)
+				ran[i] = true
+			}
+		}()
+	}
+	var err error
+dispatch:
+	for i := 0; i < n; i++ {
+		// Check first so an already-done ctx never dispatches: the
+		// select below would otherwise pick between the two ready
+		// cases at random.
+		if err = ctx.Err(); err != nil {
+			break
+		}
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	if collect != nil {
+		for i := 0; i < n; i++ {
+			if ran[i] {
+				collect(i, results[i])
+			}
+		}
+	}
+	return err
+}
+
+// RunCtx is ForEachCtx for jobs without results.
+func RunCtx(ctx context.Context, n int, fn func(i int)) error {
+	return ForEachCtx(ctx, n, func(i int) interface{} {
 		fn(i)
 		return nil
 	}, nil)

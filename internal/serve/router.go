@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"strconv"
+	"sync"
+
+	"ssos/internal/obs"
+)
+
+// DefaultRingSize is the per-subscriber ring capacity when the
+// registry options leave it zero. Big enough that a reader only has to
+// keep up on average; small enough that a stalled reader costs a few
+// KiB, not the session's whole history.
+const DefaultRingSize = 256
+
+// Frame is one routed event: the session-wide sequence number (the
+// event's index in the session collector, so it doubles as the
+// ?since= cursor for refetch/resume) and the event itself.
+type Frame struct {
+	Seq uint64
+	Ev  obs.Event
+}
+
+// Router fans a session's live event feed out to subscribers. Publish
+// never blocks and never allocates per subscriber beyond the fixed
+// ring: a subscriber that reads too slowly loses its oldest buffered
+// frames and is told how many (drop-and-count backpressure). The
+// session collector remains the source of truth — drops only thin the
+// live feed, the full stream stays fetchable by cursor.
+type Router struct {
+	ringSize int
+
+	mu     sync.Mutex
+	subs   map[*Subscriber]struct{}
+	closed bool
+}
+
+// NewRouter returns a router with the given per-subscriber ring
+// capacity (0 selects DefaultRingSize).
+func NewRouter(ringSize int) *Router {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	return &Router{ringSize: ringSize, subs: make(map[*Subscriber]struct{})}
+}
+
+// Subscribe registers a new subscriber. Subscribing to a closed router
+// yields an already-closed subscriber (reads report closure
+// immediately) rather than an error, so teardown races are benign.
+func (r *Router) Subscribe() *Subscriber {
+	s := &Subscriber{
+		ring:   make([]Frame, r.ringSize),
+		notify: make(chan struct{}, 1),
+	}
+	r.mu.Lock()
+	if r.closed {
+		s.closed = true
+	} else {
+		r.subs[s] = struct{}{}
+	}
+	r.mu.Unlock()
+	if s.closed {
+		s.wake()
+	}
+	return s
+}
+
+// Unsubscribe removes the subscriber and marks it closed.
+func (r *Router) Unsubscribe(s *Subscriber) {
+	r.mu.Lock()
+	delete(r.subs, s)
+	r.mu.Unlock()
+	s.close()
+}
+
+// Publish fans one frame out to every subscriber. It is safe to call
+// from the collector hook (under the collector lock): per-subscriber
+// work is a ring write and a non-blocking wake.
+func (r *Router) Publish(seq uint64, e obs.Event) {
+	r.mu.Lock()
+	for s := range r.subs {
+		s.push(Frame{Seq: seq, Ev: e})
+	}
+	r.mu.Unlock()
+}
+
+// Close closes every subscriber and rejects future ones. A session
+// calls it once on teardown.
+func (r *Router) Close() {
+	r.mu.Lock()
+	subs := r.subs
+	r.subs = make(map[*Subscriber]struct{})
+	r.closed = true
+	r.mu.Unlock()
+	for s := range subs {
+		s.close()
+	}
+}
+
+// Subscribers returns the current subscriber count.
+func (r *Router) Subscribers() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.subs)
+}
+
+// Subscriber is one live event reader: a fixed-capacity ring of frames
+// plus a count of frames dropped since the last Take.
+type Subscriber struct {
+	mu      sync.Mutex
+	ring    []Frame
+	head, n int
+	dropped uint64
+	closed  bool
+	notify  chan struct{}
+}
+
+// push appends a frame, overwriting the oldest when full.
+func (s *Subscriber) push(f Frame) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.n == len(s.ring) {
+		s.head = (s.head + 1) % len(s.ring)
+		s.n--
+		s.dropped++
+	}
+	s.ring[(s.head+s.n)%len(s.ring)] = f
+	s.n++
+	s.mu.Unlock()
+	s.wake()
+}
+
+func (s *Subscriber) wake() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Subscriber) close() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		s.wake()
+	}
+}
+
+// Wait blocks until frames are available, the subscriber is closed, or
+// cancel fires; it returns false only for cancellation. Spurious wakes
+// are possible (Take may come back empty) — callers loop.
+func (s *Subscriber) Wait(cancel <-chan struct{}) bool {
+	s.mu.Lock()
+	ready := s.n > 0 || s.closed
+	s.mu.Unlock()
+	if ready {
+		return true
+	}
+	select {
+	case <-s.notify:
+		return true
+	case <-cancel:
+		return false
+	}
+}
+
+// Take drains the buffered frames into buf (reused when its capacity
+// allows), returning the frames, the number of frames dropped since
+// the previous Take, and whether the subscriber is closed. After a
+// closed Take returns zero frames, no more will ever arrive.
+func (s *Subscriber) Take(buf []Frame) (frames []Frame, dropped uint64, closed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	frames = buf[:0]
+	for i := 0; i < s.n; i++ {
+		frames = append(frames, s.ring[(s.head+i)%len(s.ring)])
+	}
+	s.head, s.n = 0, 0
+	dropped = s.dropped
+	s.dropped = 0
+	return frames, dropped, s.closed
+}
+
+// AppendSSE renders one frame as a Server-Sent-Events message:
+//
+//	id: <seq>
+//	event: ssos
+//	data: {"step":...,"type":"..."}
+//
+// The id field is the session event cursor, so a client can resume a
+// broken stream with ?since=<last id + 1> and lose nothing.
+func AppendSSE(b []byte, f Frame) []byte {
+	b = append(b, "id: "...)
+	b = strconv.AppendUint(b, f.Seq, 10)
+	b = append(b, "\nevent: ssos\ndata: "...)
+	b = f.Ev.AppendJSON(b)
+	return append(b, "\n\n"...)
+}
+
+// AppendSSEDrop renders the backpressure notice a slow subscriber gets
+// in place of the frames it lost:
+//
+//	event: ssos-drop
+//	data: {"dropped":N}
+func AppendSSEDrop(b []byte, dropped uint64) []byte {
+	b = append(b, "event: ssos-drop\ndata: {\"dropped\":"...)
+	b = strconv.AppendUint(b, dropped, 10)
+	return append(b, "}\n\n"...)
+}

@@ -1,0 +1,518 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"ssos/internal/cluster"
+	"ssos/internal/core"
+	"ssos/internal/fault"
+	"ssos/internal/obs"
+)
+
+// apiDo issues one request against the test server and returns the
+// status code and body.
+func apiDo(t *testing.T, method, url, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// apiOK is apiDo that requires a 2xx status.
+func apiOK(t *testing.T, method, url, body string) []byte {
+	t.Helper()
+	code, b := apiDo(t, method, url, body)
+	if code < 200 || code > 299 {
+		t.Fatalf("%s %s: status %d: %s", method, url, code, b)
+	}
+	return b
+}
+
+// createSession posts a session spec and returns the assigned ID.
+func createSession(t *testing.T, base, spec string) string {
+	t.Helper()
+	var st Status
+	if err := json.Unmarshal(apiOK(t, "POST", base+"/api/sessions", spec), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" {
+		t.Fatal("create returned no session ID")
+	}
+	return st.ID
+}
+
+func newTestServer(t *testing.T, o Options) (*Registry, *httptest.Server) {
+	t.Helper()
+	reg := NewRegistry(o)
+	ts := httptest.NewServer(NewServer(reg))
+	t.Cleanup(func() {
+		ts.Close()
+		reg.Shutdown(context.Background()) //nolint:errcheck
+	})
+	return reg, ts
+}
+
+// TestMachineBridgeByteIdentical is the determinism bridge for machine
+// sessions: the same image/seed/command sequence driven through the
+// HTTP API must yield the byte-identical JSONL event stream and
+// metrics JSON that the ssos-run batch path produces.
+func TestMachineBridgeByteIdentical(t *testing.T) {
+	const (
+		image = "reinstall"
+		seed  = 7
+		at    = 40000
+		total = 120000
+	)
+
+	// Batch path, exactly as cmd/ssos-run sequences it.
+	img, ok := LookupImage(image)
+	if !ok {
+		t.Fatal("image missing")
+	}
+	sys, err := core.New(img.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obs.NewCollector()
+	sys.Instrument(col)
+	sys.Run(at)
+	inj := fault.NewInjector(sys.M, seed)
+	if err := InjectFault(sys, inj, "os-blast"); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(total - at)
+	var wantEvents bytes.Buffer
+	if err := col.WriteJSONL(&wantEvents); err != nil {
+		t.Fatal(err)
+	}
+	sys.ExportMetrics(col.Metrics)
+	var wantMetrics bytes.Buffer
+	if err := col.Metrics.WriteJSON(&wantMetrics); err != nil {
+		t.Fatal(err)
+	}
+
+	// Served path: same image, same seed, same step/fault sequence.
+	reg, ts := newTestServer(t, Options{Workers: 2})
+	id := createSession(t, ts.URL, `{"image":"reinstall","seed":7}`)
+	apiOK(t, "POST", ts.URL+"/api/sessions/"+id+"/run", `{"steps":40000}`)
+	apiOK(t, "POST", ts.URL+"/api/sessions/"+id+"/fault", `{"kind":"os-blast"}`)
+	apiOK(t, "POST", ts.URL+"/api/sessions/"+id+"/run", `{"steps":80000}`)
+
+	gotEvents := apiOK(t, "GET", ts.URL+"/api/sessions/"+id+"/events", "")
+	if !bytes.Equal(gotEvents, wantEvents.Bytes()) {
+		t.Errorf("served event stream differs from batch:\nserved:\n%s\nbatch:\n%s",
+			gotEvents, wantEvents.Bytes())
+	}
+	if wantEvents.Len() == 0 {
+		t.Fatal("bridge vacuous: batch run emitted no events")
+	}
+
+	gotMetrics := apiOK(t, "GET", ts.URL+"/api/sessions/"+id+"/metrics", "")
+	if !bytes.Equal(gotMetrics, wantMetrics.Bytes()) {
+		t.Errorf("served metrics differ from batch:\nserved:\n%s\nbatch:\n%s",
+			gotMetrics, wantMetrics.Bytes())
+	}
+
+	// Metrics export must be a snapshot, not a mutation: fetching twice
+	// must not double-count.
+	again := apiOK(t, "GET", ts.URL+"/api/sessions/"+id+"/metrics", "")
+	if !bytes.Equal(again, gotMetrics) {
+		t.Error("second metrics fetch differs — export mutated collector state")
+	}
+
+	// Cursor refetch: ?since=N returns exactly the suffix.
+	sess, ok := reg.Get(id)
+	if !ok {
+		t.Fatal("session vanished")
+	}
+	if sess.EventCount() >= 3 {
+		var wantTail bytes.Buffer
+		if err := obs.WriteJSONL(&wantTail, sess.EventsSince(2)); err != nil {
+			t.Fatal(err)
+		}
+		gotTail := apiOK(t, "GET", ts.URL+"/api/sessions/"+id+"/events?since=2", "")
+		if !bytes.Equal(gotTail, wantTail.Bytes()) {
+			t.Error("?since= cursor refetch differs from EventsSince")
+		}
+	}
+}
+
+// TestClusterBridgeByteIdentical is the determinism bridge for cluster
+// sessions, against the ssos-cluster batch sequence.
+func TestClusterBridgeByteIdentical(t *testing.T) {
+	const (
+		seed   = 5
+		epochs = 6
+	)
+	mode, err := cluster.ParseFaultMode("os-blast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obs.NewCollector()
+	c, err := cluster.New(cluster.Config{
+		Replicas:  3,
+		Approach:  core.ApproachReinstall,
+		Seed:      seed,
+		Faults:    mode,
+		Collector: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(epochs)
+	var wantEvents bytes.Buffer
+	if err := col.WriteJSONL(&wantEvents); err != nil {
+		t.Fatal(err)
+	}
+	c.FinishObservability()
+	var wantMetrics bytes.Buffer
+	if err := col.Metrics.WriteJSON(&wantMetrics); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Options{Workers: 2})
+	id := createSession(t, ts.URL,
+		`{"kind":"cluster","image":"reinstall","seed":5,"replicas":3,"faults":"os-blast"}`)
+	apiOK(t, "POST", ts.URL+"/api/sessions/"+id+"/run", `{"epochs":6}`)
+
+	gotEvents := apiOK(t, "GET", ts.URL+"/api/sessions/"+id+"/events", "")
+	if !bytes.Equal(gotEvents, wantEvents.Bytes()) {
+		t.Errorf("served cluster event stream differs from batch:\nserved:\n%s\nbatch:\n%s",
+			gotEvents, wantEvents.Bytes())
+	}
+	if wantEvents.Len() == 0 {
+		t.Fatal("bridge vacuous: batch cluster run emitted no events")
+	}
+	gotMetrics := apiOK(t, "GET", ts.URL+"/api/sessions/"+id+"/metrics", "")
+	if !bytes.Equal(gotMetrics, wantMetrics.Bytes()) {
+		t.Errorf("served cluster metrics differ from batch:\nserved:\n%s\nbatch:\n%s",
+			gotMetrics, wantMetrics.Bytes())
+	}
+}
+
+// TestClusterOnDemandStrike checks the fault endpoint lands a strike
+// on a cluster session between epochs.
+func TestClusterOnDemandStrike(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	id := createSession(t, ts.URL, `{"kind":"cluster","image":"reinstall","seed":3,"replicas":3}`)
+	apiOK(t, "POST", ts.URL+"/api/sessions/"+id+"/run", `{"epochs":2}`)
+	var res FaultResult
+	body := apiOK(t, "POST", ts.URL+"/api/sessions/"+id+"/fault", `{"kind":"os-blast","replica":1}`)
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Injected) != 1 {
+		t.Fatalf("strike reported %v, want one injection", res.Injected)
+	}
+	var st Status
+	if err := json.Unmarshal(apiOK(t, "POST", ts.URL+"/api/sessions/"+id+"/run", `{"epochs":2}`), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cluster == nil || st.Cluster.Epochs != 4 {
+		t.Errorf("status after strike+run: %+v, want 4 epochs", st.Cluster)
+	}
+
+	// A strike naming a bogus replica or an inert mode must fail.
+	if code, _ := apiDo(t, "POST", ts.URL+"/api/sessions/"+id+"/fault", `{"kind":"os-blast","replica":9}`); code != http.StatusBadRequest {
+		t.Errorf("bogus replica: status %d, want 400", code)
+	}
+	if code, _ := apiDo(t, "POST", ts.URL+"/api/sessions/"+id+"/fault", `{"kind":"none"}`); code != http.StatusBadRequest {
+		t.Errorf("inert strike: status %d, want 400", code)
+	}
+}
+
+// evictionTrace drives one fixed operation sequence against a small
+// registry and records which sessions fall to the idle sweep.
+func evictionTrace(t *testing.T) (evicted []string, surviving []string) {
+	t.Helper()
+	reg := NewRegistry(Options{MaxSessions: 16, IdleOps: 3, Workers: 1})
+	defer reg.Shutdown(context.Background()) //nolint:errcheck
+
+	var ss []*Session
+	for i := 0; i < 3; i++ {
+		s, err := reg.Create(SessionSpec{Image: "baseline", Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(RunRequest{Steps: 1000}); err != nil {
+			t.Fatal(err)
+		}
+		ss = append(ss, s)
+	}
+	// Keep the last session warm; the first two age out after exactly
+	// IdleOps=3 further operations each (logical clock, no wall time).
+	for i := 0; i < 5; i++ {
+		reg.Touch(ss[2])
+		if _, err := ss[2].Run(RunRequest{Steps: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range ss {
+		if _, ok := reg.Get(s.ID); !ok {
+			evicted = append(evicted, s.ID)
+			if _, err := s.Status(); !errors.Is(err, ErrEvicted) {
+				t.Errorf("evicted session %s: command error = %v, want ErrEvicted", s.ID, err)
+			}
+		} else {
+			surviving = append(surviving, s.ID)
+		}
+	}
+	if got := reg.Evicted(); got != uint64(len(evicted)) {
+		t.Errorf("Evicted() = %d, want %d", got, len(evicted))
+	}
+	return evicted, surviving
+}
+
+// TestIdleEvictionDeterministic checks both that idle sessions fall on
+// the logical-clock horizon and that the outcome is a pure function of
+// the operation sequence: two identical runs evict identical sessions.
+func TestIdleEvictionDeterministic(t *testing.T) {
+	ev1, sv1 := evictionTrace(t)
+	ev2, sv2 := evictionTrace(t)
+	if len(ev1) != 2 || len(sv1) != 1 {
+		t.Fatalf("trace evicted %v kept %v; want 2 evicted, 1 kept", ev1, sv1)
+	}
+	if strings.Join(ev1, ",") != strings.Join(ev2, ",") || strings.Join(sv1, ",") != strings.Join(sv2, ",") {
+		t.Errorf("eviction not deterministic: run1 evicted %v kept %v, run2 evicted %v kept %v",
+			ev1, sv1, ev2, sv2)
+	}
+}
+
+// TestRegistryCapAndDelete covers ErrFull at the session cap and
+// explicit deletion semantics.
+func TestRegistryCapAndDelete(t *testing.T) {
+	reg := NewRegistry(Options{MaxSessions: 2, IdleOps: -1, Workers: 1})
+	defer reg.Shutdown(context.Background()) //nolint:errcheck
+
+	s1, err := reg.Create(SessionSpec{Image: "baseline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create(SessionSpec{Image: "baseline"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create(SessionSpec{Image: "baseline"}); !errors.Is(err, ErrFull) {
+		t.Fatalf("third create: err = %v, want ErrFull", err)
+	}
+	if !reg.Delete(s1.ID) {
+		t.Fatal("delete of live session failed")
+	}
+	if reg.Delete(s1.ID) {
+		t.Error("double delete reported success")
+	}
+	if _, err := s1.Status(); !errors.Is(err, ErrClosed) {
+		t.Errorf("deleted session command: err = %v, want ErrClosed", err)
+	}
+	if _, err := reg.Create(SessionSpec{Image: "baseline"}); err != nil {
+		t.Errorf("create after delete: %v (cap slot not reclaimed)", err)
+	}
+	if reg.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", reg.Len())
+	}
+}
+
+// TestShutdownFailsFast checks a shut-down registry rejects new work
+// and fails open sessions with ErrShutdown, idempotently.
+func TestShutdownFailsFast(t *testing.T) {
+	reg := NewRegistry(Options{Workers: 1})
+	s, err := reg.Create(SessionSpec{Image: "baseline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create(SessionSpec{Image: "baseline"}); !errors.Is(err, ErrShutdown) {
+		t.Errorf("create after shutdown: err = %v, want ErrShutdown", err)
+	}
+	if _, err := s.Status(); !errors.Is(err, ErrShutdown) {
+		t.Errorf("session command after shutdown: err = %v, want ErrShutdown", err)
+	}
+	if err := reg.Shutdown(context.Background()); err != nil {
+		t.Errorf("second shutdown: %v", err)
+	}
+}
+
+// TestStreamReplayMatchesGolden drives the SSE endpoint end to end:
+// the replayed prefix must be exactly the AppendSSE rendering of the
+// retained event log, and closing the client must detach the handler.
+func TestStreamReplayMatchesGolden(t *testing.T) {
+	reg, ts := newTestServer(t, Options{Workers: 1})
+	id := createSession(t, ts.URL, `{"image":"reinstall","seed":3}`)
+	apiOK(t, "POST", ts.URL+"/api/sessions/"+id+"/run", `{"steps":70000}`)
+
+	sess, ok := reg.Get(id)
+	if !ok {
+		t.Fatal("session missing")
+	}
+	events := sess.EventsSince(0)
+	if len(events) < 2 {
+		t.Fatalf("run produced %d events; want enough to stream", len(events))
+	}
+	var want []byte
+	for i, e := range events {
+		want = AppendSSE(want, Frame{Seq: uint64(i), Ev: e})
+	}
+
+	resp, err := http.Get(ts.URL + "/api/sessions/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+	got := make([]byte, len(want))
+	if _, err := io.ReadFull(resp.Body, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("SSE replay differs:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if sess.EventCount() != len(events) {
+		t.Error("streaming mutated the retained log")
+	}
+}
+
+// TestAPIErrors pins the error mapping for the common client mistakes.
+func TestAPIErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	if code, _ := apiDo(t, "POST", ts.URL+"/api/sessions", `{"image":"nope"}`); code != http.StatusBadRequest {
+		t.Errorf("unknown image: status %d, want 400", code)
+	}
+	if code, _ := apiDo(t, "GET", ts.URL+"/api/sessions/zzz", ""); code != http.StatusNotFound {
+		t.Errorf("unknown session: status %d, want 404", code)
+	}
+	if code, _ := apiDo(t, "DELETE", ts.URL+"/api/sessions/zzz", ""); code != http.StatusNotFound {
+		t.Errorf("delete unknown session: status %d, want 404", code)
+	}
+	id := createSession(t, ts.URL, `{"image":"baseline"}`)
+	if code, _ := apiDo(t, "POST", ts.URL+"/api/sessions/"+id+"/run", `{"steps":0}`); code != http.StatusBadRequest {
+		t.Errorf("zero-step run: status %d, want 400", code)
+	}
+	if code, _ := apiDo(t, "POST", ts.URL+"/api/sessions/"+id+"/fault", `{"kind":"gamma-ray"}`); code != http.StatusBadRequest {
+		t.Errorf("unknown fault: status %d, want 400", code)
+	}
+	if code, _ := apiDo(t, "GET", ts.URL+"/api/sessions/"+id+"/events?since=-1", ""); code != http.StatusBadRequest {
+		t.Errorf("negative cursor: status %d, want 400", code)
+	}
+	apiOK(t, "DELETE", ts.URL+"/api/sessions/"+id, "")
+	if code, _ := apiDo(t, "GET", ts.URL+"/api/sessions/"+id, ""); code != http.StatusNotFound {
+		t.Errorf("status of deleted session: status %d, want 404", code)
+	}
+}
+
+// TestCatalogEndpoints sanity-checks the static catalog routes.
+func TestCatalogEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	var imgs []struct{ Name string }
+	if err := json.Unmarshal(apiOK(t, "GET", ts.URL+"/api/images", ""), &imgs); err != nil {
+		t.Fatal(err)
+	}
+	if len(imgs) != len(Images()) || imgs[0].Name != "baseline" {
+		t.Errorf("images catalog: got %d entries first %q", len(imgs), imgs[0].Name)
+	}
+	var kinds []string
+	if err := json.Unmarshal(apiOK(t, "GET", ts.URL+"/api/faults", ""), &kinds); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != len(FaultKinds()) {
+		t.Errorf("fault catalog: got %d kinds, want %d", len(kinds), len(FaultKinds()))
+	}
+	var st Stats
+	if err := json.Unmarshal(apiOK(t, "GET", ts.URL+"/healthz", ""), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers < 1 {
+		t.Errorf("healthz reports %d workers", st.Workers)
+	}
+}
+
+// TestStressManySessions sustains 500+ concurrent live sessions on a
+// bounded worker set, then ages them out via the logical clock. It
+// demonstrates the scaling contract: goroutines stay bounded by the
+// worker budget (sessions are actors, not goroutine owners), and idle
+// eviction reclaims sessions wholesale.
+func TestStressManySessions(t *testing.T) {
+	const n = 510
+	reg := NewRegistry(Options{MaxSessions: n + 16, IdleOps: 4 * n, Workers: 8})
+	defer reg.Shutdown(context.Background()) //nolint:errcheck
+
+	baseline := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	sessions := make([]*Session, n)
+	errs := make([]error, n)
+	gate := make(chan struct{}, 32)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gate <- struct{}{}
+			defer func() { <-gate }()
+			s, err := reg.Create(SessionSpec{Image: "baseline", Seed: int64(i + 1)})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sessions[i] = s
+			reg.Touch(s)
+			if _, err := s.Run(RunRequest{Steps: 200}); err != nil {
+				errs[i] = err
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+	}
+	if got := reg.Len(); got < 500 {
+		t.Fatalf("sustained %d concurrent sessions, want >= 500", got)
+	}
+	// The worker set, not the session count, bounds goroutines.
+	if g := runtime.NumGoroutine(); g > baseline+64 {
+		t.Errorf("goroutines grew to %d (baseline %d) for %d sessions", g, baseline, n)
+	}
+
+	// Age every session but one out: the keeper's touches advance the
+	// logical clock past everyone else's idle horizon.
+	keeper := sessions[0]
+	for i := 0; i < 4*n+n+1; i++ {
+		reg.Touch(keeper)
+	}
+	if got := reg.Len(); got != 1 {
+		t.Errorf("after idle sweep: %d sessions live, want 1 (the keeper)", got)
+	}
+	if ev := reg.Evicted(); ev != n-1 {
+		t.Errorf("Evicted() = %d, want %d", ev, n-1)
+	}
+	if _, ok := reg.Get(keeper.ID); !ok {
+		t.Error("keeper was evicted despite being touched")
+	}
+	if _, err := sessions[1].Status(); !errors.Is(err, ErrEvicted) {
+		t.Errorf("aged-out session error = %v, want ErrEvicted", err)
+	}
+}

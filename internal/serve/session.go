@@ -1,0 +1,397 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ssos/internal/cluster"
+	"ssos/internal/core"
+	"ssos/internal/fault"
+	"ssos/internal/obs"
+)
+
+// Session errors. ErrClosed covers explicit deletion and daemon
+// shutdown; ErrEvicted is the idle-eviction flavor so clients can tell
+// "you closed it" from "it aged out".
+var (
+	ErrClosed  = errors.New("session closed")
+	ErrEvicted = errors.New("session evicted (idle)")
+)
+
+// Session is one hosted simulation: a machine (core.System) or a
+// cluster (cluster.Cluster), its event collector, its SSE router, and
+// a command queue. All mutation — stepping, fault injection, metrics
+// export — runs as commands on the registry's worker set, one at a
+// time per session, so the deterministic single-goroutine contract of
+// the underlying machinery is preserved no matter how many clients
+// poke the API concurrently.
+type Session struct {
+	// ID is the registry-assigned identifier ("s1", "s2", ...).
+	ID string
+	// Spec echoes the creation request after defaulting.
+	Spec SessionSpec
+
+	reg    *Registry
+	col    *obs.Collector
+	router *Router
+
+	// Exactly one of sys/clu is set, per Spec.Kind.
+	sys *core.System
+	inj *fault.Injector
+	clu *cluster.Cluster
+
+	mu        sync.Mutex
+	queue     []*command
+	scheduled bool
+	closed    bool
+	closeErr  error
+
+	// created and lastTouch are registry logical-clock stamps, guarded
+	// by the registry mutex (not this one).
+	created   uint64
+	lastTouch uint64
+}
+
+// command is one queued mutation and its completion signal.
+type command struct {
+	fn     func() (interface{}, error)
+	done   chan struct{}
+	result interface{}
+	err    error
+}
+
+// newSession builds the simulation a spec describes. The construction
+// path is shared with the batch CLIs (LookupImage + core.New /
+// cluster.New), which is half of the determinism bridge; the serialized
+// command loop is the other half.
+func newSession(id string, sp SessionSpec, ringSize int) (*Session, error) {
+	img, err := sp.normalize()
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		ID:     id,
+		Spec:   sp,
+		col:    obs.NewCollector(),
+		router: NewRouter(ringSize),
+	}
+	s.col.Hook = func(idx int, e obs.Event) {
+		s.router.Publish(uint64(idx), e)
+	}
+	switch sp.Kind {
+	case KindMachine:
+		cfg := img.Cfg
+		if sp.Period > 0 {
+			cfg.WatchdogPeriod = sp.Period
+		}
+		cfg.DisableNMICounter = sp.StockNMI
+		sys, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sys.Instrument(s.col)
+		s.sys = sys
+		// The injector is seeded at construction but draws randomness
+		// only per injection, so a session that injects at step T sees
+		// the exact fault bytes ssos-run -seed would.
+		s.inj = fault.NewInjector(sys.M, sp.Seed)
+	case KindCluster:
+		if img.Cfg != (core.Config{Approach: img.Cfg.Approach}) {
+			return nil, fmt.Errorf("image %q carries machine-only options; cluster sessions take plain approach images", img.Name)
+		}
+		mode, err := cluster.ParseFaultMode(faultsOrNone(sp.Faults))
+		if err != nil {
+			return nil, err
+		}
+		clu, err := cluster.New(cluster.Config{
+			Replicas:    sp.Replicas,
+			Approach:    img.Cfg.Approach,
+			EpochSteps:  sp.EpochSteps,
+			Seed:        sp.Seed,
+			Faults:      mode,
+			StrikeEvery: sp.StrikeEvery,
+			StrikeProb:  sp.StrikeProb,
+			Collector:   s.col,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.clu = clu
+	}
+	return s, nil
+}
+
+func faultsOrNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// do enqueues one command and waits for the worker set to execute it.
+// Commands on one session run strictly in submission order, one at a
+// time; a closed session fails immediately with its closure error.
+func (s *Session) do(fn func() (interface{}, error)) (interface{}, error) {
+	cmd := &command{fn: fn, done: make(chan struct{})}
+	s.mu.Lock()
+	if s.closed {
+		err := s.closeErr
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.queue = append(s.queue, cmd)
+	schedule := !s.scheduled
+	s.scheduled = true
+	s.mu.Unlock()
+	if schedule {
+		s.reg.enqueue(s)
+	}
+	<-cmd.done
+	return cmd.result, cmd.err
+}
+
+// drain executes the session's queued commands on the calling worker
+// goroutine until the queue is empty, then yields the scheduled slot.
+func (s *Session) drain() {
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			s.scheduled = false
+			s.mu.Unlock()
+			return
+		}
+		cmd := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		cmd.result, cmd.err = cmd.fn()
+		close(cmd.done)
+	}
+}
+
+// close marks the session closed with the given error and fails every
+// queued command. A command already executing finishes normally (the
+// simulation is never interrupted mid-step); everything behind it
+// fails fast. Idempotent.
+func (s *Session) close(err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.closeErr = err
+	flushed := s.queue
+	s.queue = nil
+	s.mu.Unlock()
+	for _, cmd := range flushed {
+		cmd.err = err
+		close(cmd.done)
+	}
+	s.router.Close()
+}
+
+// RunRequest asks to advance a session: Steps for machine sessions,
+// Epochs for cluster sessions.
+type RunRequest struct {
+	Steps  int `json:"steps,omitempty"`
+	Epochs int `json:"epochs,omitempty"`
+}
+
+// FaultRequest asks for one on-demand injection. Kind is a machine
+// fault class (FaultKinds) for machine sessions or a cluster strike
+// mode (bitflip|os-blast|cpu-blast|blast) for cluster sessions;
+// Replica selects the strike target in a cluster.
+type FaultRequest struct {
+	Kind    string `json:"kind"`
+	Replica int    `json:"replica,omitempty"`
+}
+
+// FaultResult reports the faults an injection request landed.
+type FaultResult struct {
+	Injected []string `json:"injected"`
+}
+
+// MachineStatus is the machine-session slice of a Status.
+type MachineStatus struct {
+	Steps      uint64 `json:"steps"`
+	Instrs     uint64 `json:"instrs"`
+	NMIs       uint64 `json:"nmis"`
+	IRQs       uint64 `json:"irqs"`
+	Exceptions uint64 `json:"exceptions"`
+	Resets     uint64 `json:"resets"`
+	Heartbeats uint64 `json:"heartbeats"`
+}
+
+// ClusterStatus is the cluster-session slice of a Status.
+type ClusterStatus struct {
+	Replicas     int     `json:"replicas"`
+	Quorum       int     `json:"quorum"`
+	Epochs       int     `json:"epochs"`
+	LegalEpochs  int     `json:"legal_epochs"`
+	Availability float64 `json:"availability"`
+	Evictions    int     `json:"evictions"`
+	FreshBoots   int     `json:"fresh_boots"`
+}
+
+// Status is a session snapshot: identity, retention counters, and the
+// kind-specific progress block.
+type Status struct {
+	ID          string         `json:"id"`
+	Kind        string         `json:"kind"`
+	Image       string         `json:"image"`
+	Seed        int64          `json:"seed"`
+	Events      int            `json:"events"`
+	Subscribers int            `json:"subscribers"`
+	CreatedOp   uint64         `json:"created_op"`
+	LastTouchOp uint64         `json:"last_touch_op"`
+	Machine     *MachineStatus `json:"machine,omitempty"`
+	Cluster     *ClusterStatus `json:"cluster,omitempty"`
+}
+
+// status assembles a Status. Must run as a command (it reads live
+// machine state).
+func (s *Session) status() *Status {
+	st := &Status{
+		ID:          s.ID,
+		Kind:        s.Spec.Kind,
+		Image:       s.Spec.Image,
+		Seed:        s.Spec.Seed,
+		Events:      s.col.Len(),
+		Subscribers: s.router.Subscribers(),
+	}
+	st.CreatedOp, st.LastTouchOp = s.reg.stamps(s)
+	switch {
+	case s.sys != nil:
+		m := &MachineStatus{
+			Steps:      s.sys.M.Stats.Steps,
+			Instrs:     s.sys.M.Stats.Instrs,
+			NMIs:       s.sys.M.Stats.NMIs,
+			IRQs:       s.sys.M.Stats.IRQs,
+			Exceptions: s.sys.M.Stats.Exceptions,
+			Resets:     s.sys.M.Stats.Resets,
+		}
+		if s.sys.Heartbeat != nil {
+			m.Heartbeats = s.sys.Heartbeat.Total()
+		}
+		st.Machine = m
+	case s.clu != nil:
+		sum := s.clu.Summary()
+		st.Cluster = &ClusterStatus{
+			Replicas:     sum.Replicas,
+			Quorum:       s.clu.Quorum(),
+			Epochs:       sum.Epochs,
+			LegalEpochs:  sum.LegalEpochs,
+			Availability: sum.Availability,
+			Evictions:    sum.Evictions,
+			FreshBoots:   sum.FreshBoots,
+		}
+	}
+	return st
+}
+
+// Status returns a session snapshot, serialized with the command loop.
+func (s *Session) Status() (*Status, error) {
+	r, err := s.do(func() (interface{}, error) { return s.status(), nil })
+	if err != nil {
+		return nil, err
+	}
+	return r.(*Status), nil
+}
+
+// Run advances the session per the request and returns the resulting
+// status.
+func (s *Session) Run(req RunRequest) (*Status, error) {
+	r, err := s.do(func() (interface{}, error) {
+		switch {
+		case s.sys != nil:
+			if req.Steps <= 0 {
+				return nil, fmt.Errorf("machine session: run wants steps > 0")
+			}
+			s.sys.Run(req.Steps)
+		case s.clu != nil:
+			if req.Epochs <= 0 {
+				return nil, fmt.Errorf("cluster session: run wants epochs > 0")
+			}
+			s.clu.Run(req.Epochs)
+		}
+		return s.status(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r.(*Status), nil
+}
+
+// Inject lands one on-demand fault.
+func (s *Session) Inject(req FaultRequest) (*FaultResult, error) {
+	r, err := s.do(func() (interface{}, error) {
+		switch {
+		case s.sys != nil:
+			before := len(s.inj.Log)
+			if err := InjectFault(s.sys, s.inj, req.Kind); err != nil {
+				return nil, err
+			}
+			res := &FaultResult{}
+			for _, rec := range s.inj.Log[before:] {
+				res.Injected = append(res.Injected, rec.String())
+			}
+			return res, nil
+		default:
+			mode, err := cluster.ParseFaultMode(req.Kind)
+			if err != nil {
+				return nil, err
+			}
+			if mode == cluster.ModeNone {
+				return nil, fmt.Errorf("fault kind %q injects nothing", req.Kind)
+			}
+			if err := s.clu.Strike(req.Replica, mode); err != nil {
+				return nil, err
+			}
+			return &FaultResult{Injected: []string{
+				fmt.Sprintf("replica %d %v", req.Replica, mode),
+			}}, nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r.(*FaultResult), nil
+}
+
+// Metrics returns the session's stabilization-metrics registry,
+// assembled exactly as the batch CLIs would at this point in the run:
+// the collector registry plus the machine counters (machine sessions)
+// or the per-replica merge and availability gauges (cluster sessions).
+func (s *Session) Metrics() (*obs.Metrics, error) {
+	r, err := s.do(func() (interface{}, error) {
+		switch {
+		case s.sys != nil:
+			snap := s.col.MetricsSnapshot()
+			s.sys.ExportMetrics(snap)
+			return snap, nil
+		default:
+			return s.clu.MetricsSnapshot(), nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r.(*obs.Metrics), nil
+}
+
+// EventsSince returns the retained event stream from the given cursor.
+// It reads the concurrent-safe collector directly — no command, so it
+// works even mid-run and does not affect idle accounting.
+func (s *Session) EventsSince(cursor int) []obs.Event {
+	return s.col.EventsSince(cursor)
+}
+
+// EventCount returns the number of retained events.
+func (s *Session) EventCount() int { return s.col.Len() }
+
+// Subscribe attaches a live event subscriber.
+func (s *Session) Subscribe() *Subscriber { return s.router.Subscribe() }
+
+// Unsubscribe detaches a subscriber.
+func (s *Session) Unsubscribe(sub *Subscriber) { s.router.Unsubscribe(sub) }
