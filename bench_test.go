@@ -141,11 +141,12 @@ func BenchmarkE13Tickful(b *testing.B) {
 }
 
 func BenchmarkE14Cluster(b *testing.B) {
-	var f *expt.Series
+	var f, fb *expt.Series
 	for i := 0; i < b.N; i++ {
-		_, f = expt.E14ClusterAvailability(benchOptions(i))
+		_, f, fb = expt.E14ClusterAvailability(benchOptions(i))
 	}
 	writeFigure(b, f)
+	writeFigure(b, fb)
 }
 
 // Micro-benchmarks: the substrate costs underlying every experiment.

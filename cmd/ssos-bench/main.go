@@ -172,10 +172,10 @@ func runOne(id string, o expt.Options) *expt.Report {
 		r.Tables = append(r.Tables, expt.E12AdaptiveWatchdog(o))
 	case "E13":
 		r.Tables = append(r.Tables, expt.E13TickfulSilentFaults(o))
-	case "E14", "F7":
-		t, f := expt.E14ClusterAvailability(o)
+	case "E14", "F7", "F7B":
+		t, f, fb := expt.E14ClusterAvailability(o)
 		r.Tables = append(r.Tables, t)
-		r.Series = append(r.Series, f)
+		r.Series = append(r.Series, f, fb)
 	default:
 		return nil
 	}

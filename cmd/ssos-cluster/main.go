@@ -54,6 +54,7 @@ func main() {
 	traceN := flag.Int("trace", 0, "keep a flight recorder of each replica's last N steps; dump it on eviction")
 	eventsOut := flag.String("events-out", "", "write the structured event stream as JSONL to this file")
 	metricsOut := flag.String("metrics-out", "", "write the stabilization metrics as JSON to this file")
+	traceSpansOut := flag.String("trace-spans-out", "", "write the recovery-episode span tree as Chrome trace_event JSON (Perfetto-loadable) to this file")
 	workers := flag.Int("workers", 0, "worker pool size override (0 = GOMAXPROCS); results are identical for any setting")
 	flag.Parse()
 	pool.Workers = *workers
@@ -70,7 +71,7 @@ func main() {
 	}
 
 	var col *obs.Collector
-	if *eventsOut != "" || *metricsOut != "" {
+	if *eventsOut != "" || *metricsOut != "" || *traceSpansOut != "" {
 		col = obs.NewCollector()
 	}
 	c, err := cluster.New(cluster.Config{
@@ -95,11 +96,19 @@ func main() {
 	fmt.Print(c.RenderLog())
 	if col != nil {
 		c.FinishObservability()
+		eps := obs.FoldEpisodes(col.Events())
+		obs.RecordEpisodes(col.Metrics, eps)
 		if *eventsOut != "" {
 			writeOut(*eventsOut, col.WriteJSONL)
 		}
 		if *metricsOut != "" {
 			writeOut(*metricsOut, col.Metrics.WriteJSON)
+		}
+		if *traceSpansOut != "" {
+			horizon := uint64(*epochs) * uint64(*epochSteps)
+			writeOut(*traceSpansOut, func(w io.Writer) error {
+				return obs.WriteTrace(w, eps, horizon)
+			})
 		}
 	}
 }

@@ -44,6 +44,7 @@ func main() {
 	traceN := flag.Int("trace", 0, "dump the last N executed steps at the end")
 	eventsOut := flag.String("events-out", "", "write the structured event stream as JSONL to this file")
 	metricsOut := flag.String("metrics-out", "", "write the stabilization metrics as JSON to this file")
+	traceSpansOut := flag.String("trace-spans-out", "", "write the recovery-episode span tree as Chrome trace_event JSON (Perfetto-loadable) to this file")
 	workers := flag.Int("workers", 0, "worker pool size override (0 = GOMAXPROCS); results are identical for any setting")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -85,7 +86,7 @@ func main() {
 		os.Exit(1)
 	}
 	var col *obs.Collector
-	if *eventsOut != "" || *metricsOut != "" {
+	if *eventsOut != "" || *metricsOut != "" || *traceSpansOut != "" {
 		col = obs.NewCollector()
 		s.Instrument(col)
 	}
@@ -155,11 +156,18 @@ func main() {
 	}
 	if col != nil {
 		s.ExportMetrics(col.Metrics)
+		eps := obs.FoldEpisodes(col.Events())
+		obs.RecordEpisodes(col.Metrics, eps)
 		if *eventsOut != "" {
 			writeOut(*eventsOut, col.WriteJSONL)
 		}
 		if *metricsOut != "" {
 			writeOut(*metricsOut, col.Metrics.WriteJSON)
+		}
+		if *traceSpansOut != "" {
+			writeOut(*traceSpansOut, func(w io.Writer) error {
+				return obs.WriteTrace(w, eps, s.Steps())
+			})
 		}
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +41,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8023", "listen address (use :0 for an ephemeral port; the actual address is printed)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off); keep it loopback-only")
 	maxSessions := flag.Int("max-sessions", serve.DefaultMaxSessions, "concurrent session cap")
 	idleOps := flag.Int("idle-ops", serve.DefaultIdleOps, "evict sessions untouched for this many mutating operations (negative disables)")
 	ringSize := flag.Int("ring", serve.DefaultRingSize, "per-subscriber SSE ring capacity (frames)")
@@ -62,6 +64,31 @@ func main() {
 	}
 	// Scripts parse this line to find an ephemeral port; keep it stable.
 	fmt.Printf("ssos-serve: listening on %s\n", ln.Addr())
+
+	// The pprof endpoints live on their own listener (off by default),
+	// mirroring the batch CLIs' -cpuprofile/-memprofile story for a live
+	// daemon without exposing profiling on the API address. An explicit
+	// mux keeps the registrations intentional rather than inherited from
+	// http.DefaultServeMux.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssos-serve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ssos-serve: debug listening on %s\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil {
+				fmt.Fprintln(os.Stderr, "ssos-serve: debug listener:", err)
+			}
+		}()
+	}
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()

@@ -149,6 +149,56 @@ func SliceLoop(s []int) int {
 	}
 }
 
+// TestDetmapSanctionsSortedKeyCollect: the sorted-iteration prologue —
+// collect the keys, sort them immediately — is order-insensitive and
+// must pass; collecting without the sort (or sorting a different
+// slice) still leaks iteration order and must be flagged.
+func TestDetmapSanctionsSortedKeyCollect(t *testing.T) {
+	src := `package obs
+
+import "sort"
+
+func Sorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func SortedSlice(m map[int][]uint64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func Unsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func SortsOther(m map[string]int, other []string) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(other)
+	return keys
+}
+`
+	msgs := runOne(t, analyzers.Detmap, "ssos/testdata/detmapsort", src)
+	if len(msgs) != 2 {
+		t.Fatalf("got %d findings, want 2 (Unsorted, SortsOther):\n%s", len(msgs), strings.Join(msgs, "\n"))
+	}
+}
+
 // TestProbenilFlagsUnguardedEmit: Emit on an obs.Probe-typed value
 // without a preceding nil comparison in the same function is flagged.
 func TestProbenilFlagsUnguardedEmit(t *testing.T) {

@@ -8,22 +8,27 @@ import (
 
 // Detmap polices Go map iteration in the packages whose outputs must be
 // bit-identical across runs and replicas: internal/cluster (digest
-// voting), internal/obs (event export) and internal/expt (result
-// tables). Go randomizes map iteration order, so a range over a map is
-// only legal when its body is order-insensitive — every statement
-// writes through a map index (or a blank), making the loop a pure
-// key-indexed transfer. Anything else (appending to a slice, summing
-// into a scalar with floats, emitting events) must iterate a sorted key
+// voting), internal/obs (event export, episode folds, histogram
+// quantiles), internal/expt (result tables) and internal/serve (the
+// scrape endpoint's sample ordering). Go randomizes map iteration
+// order, so a range over a map is only legal when its body is
+// order-insensitive — every statement writes through a map index (or a
+// blank), making the loop a pure key-indexed transfer. One further
+// idiom is sanctioned: a loop that only collects the keys into a slice
+// which the very next statement sorts (the standard sorted-iteration
+// prologue). Anything else (appending values to a slice, summing into
+// a scalar with floats, emitting events) must iterate a sorted key
 // slice instead.
 var Detmap = &Analyzer{
 	Name:    "detmap",
 	Doc:     "no order-sensitive map iteration in deterministic result paths",
-	Applies: pathSuffix("internal/cluster", "internal/obs", "internal/expt"),
+	Applies: pathSuffix("internal/cluster", "internal/obs", "internal/expt", "internal/serve"),
 	Run:     runDetmap,
 }
 
 func runDetmap(pkg *Package, report func(token.Pos, string, ...any)) {
 	for _, f := range pkg.Files {
+		next := nextStmt(f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			rs, ok := n.(*ast.RangeStmt)
 			if !ok {
@@ -36,12 +41,101 @@ func runDetmap(pkg *Package, report func(token.Pos, string, ...any)) {
 			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			if !orderInsensitiveBody(pkg, rs.Body) {
-				report(rs.Pos(), "iteration order of map %s leaks into the result; iterate sorted keys instead", types.ExprString(rs.X))
+			if orderInsensitiveBody(pkg, rs.Body) {
+				return true
 			}
+			if obj := keyCollectTarget(pkg, rs); obj != nil && sortsSlice(pkg, next[rs], obj) {
+				return true
+			}
+			report(rs.Pos(), "iteration order of map %s leaks into the result; iterate sorted keys instead", types.ExprString(rs.X))
 			return true
 		})
 	}
+}
+
+// nextStmt maps every statement to its successor within its enclosing
+// statement list (block, case or comm clause).
+func nextStmt(f *ast.File) map[ast.Stmt]ast.Stmt {
+	next := make(map[ast.Stmt]ast.Stmt)
+	ast.Inspect(f, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		}
+		for i := 0; i+1 < len(list); i++ {
+			next[list[i]] = list[i+1]
+		}
+		return true
+	})
+	return next
+}
+
+// keyCollectTarget recognizes the sorted-iteration prologue's loop
+// half: a body that is exactly `keys = append(keys, k)` where k is the
+// range key, and returns the collected slice's object (nil otherwise).
+func keyCollectTarget(pkg *Package, rs *ast.RangeStmt) types.Object {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || len(rs.Body.List) != 1 {
+		return nil
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return nil
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return nil
+	}
+	src, ok := call.Args[0].(*ast.Ident)
+	if !ok || pkg.Info.ObjectOf(src) != pkg.Info.ObjectOf(dst) {
+		return nil
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok || pkg.Info.ObjectOf(arg) != pkg.Info.ObjectOf(key) {
+		return nil
+	}
+	return pkg.Info.ObjectOf(dst)
+}
+
+// sortsSlice reports whether stmt is a sort of the given slice object:
+// sort.Strings/Ints/Float64s/Slice/SliceStable or slices.Sort(Func),
+// with the slice as the first argument.
+func sortsSlice(pkg *Package, stmt ast.Stmt, obj types.Object) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recv, ok := sel.X.(*ast.Ident)
+	if !ok || (recv.Name != "sort" && recv.Name != "slices") {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "SortFunc", "SortStableFunc":
+	default:
+		return false
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	return ok && pkg.Info.ObjectOf(arg) == obj
 }
 
 // orderInsensitiveBody reports whether every statement in a map-range

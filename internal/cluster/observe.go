@@ -35,6 +35,12 @@ func (c *Cluster) drainObs() {
 }
 
 // emitVote records the epoch's tally as one cluster-scoped event.
+//
+// Vote tallies deliberately carry no FaultID: a tally aggregates the
+// whole fleet, and it is emitted before reconfigure decides who is
+// evicted — scoping it to any one replica's episode would close that
+// episode before its eviction events arrive. Episodes therefore end
+// only on replica-scoped evidence (legality-regained or rejoin).
 func (c *Cluster) emitVote(epoch int, v vote) {
 	if c.cfg.Collector == nil {
 		return
@@ -59,8 +65,11 @@ func (c *Cluster) emitVote(epoch int, v vote) {
 
 // emitEviction records one evict + rejoin pair for the reconfigured
 // replica. Arg on the rejoin event is donor+1 (0 = from-ROM fresh
-// boot), keeping the zero-omitted JSON encoding unambiguous.
-func (c *Cluster) emitEviction(epoch int, replica, donor int, reason string) {
+// boot), keeping the zero-omitted JSON encoding unambiguous. faultID
+// is the evicted incarnation's latest injected-fault ordinal (0 when
+// the incarnation was never struck), scoping the pair to the recovery
+// episode the rejoin resolves.
+func (c *Cluster) emitEviction(epoch int, replica, donor int, reason string, faultID uint64) {
 	if c.cfg.Collector == nil {
 		return
 	}
@@ -70,6 +79,7 @@ func (c *Cluster) emitEviction(epoch int, replica, donor int, reason string) {
 		Type:    obs.TypeReplicaEvicted,
 		Replica: replica,
 		Epoch:   epoch,
+		FaultID: faultID,
 		Note:    reason,
 	})
 	c.cfg.Collector.Emit(obs.Event{
@@ -77,6 +87,7 @@ func (c *Cluster) emitEviction(epoch int, replica, donor int, reason string) {
 		Type:    obs.TypeReplicaRejoined,
 		Replica: replica,
 		Epoch:   epoch,
+		FaultID: faultID,
 		Arg:     uint64(donor + 1),
 	})
 }

@@ -126,8 +126,12 @@ func (c *Cluster) evict(epoch int, r *replica, donor *replica, reason string) {
 	if r.rec != nil {
 		dump = r.rec.Dump()
 	}
+	// The fault ordinal must be read before boot replaces the injector:
+	// it keys the eviction to the episode of the evicted incarnation's
+	// latest strike.
+	fid := uint64(len(r.inj.Log))
 	c.boot(r, donor)
 	c.evictions++
 	c.Events = append(c.Events, Event{Epoch: epoch, Replica: r.id, Reason: reason, Donor: donorID, Trace: dump})
-	c.emitEviction(epoch, r.id, donorID, reason)
+	c.emitEviction(epoch, r.id, donorID, reason, fid)
 }

@@ -43,7 +43,10 @@ func (s *System) Instrument(sink obs.Probe) {
 			MaxGap:       spec.MaxGap,
 			AllowRestart: spec.AllowRestart,
 			Confirm:      ObsConfirm,
-			Sink:         sink,
+			// Legality confirmations route through the sysProbe rather
+			// than the sink directly, so they are stamped with the fault
+			// id of the episode they close — and close it.
+			Sink: p,
 		}
 		s.Heartbeat.OnWrite = p.onHeartbeat
 	}
@@ -74,6 +77,12 @@ type sysProbe struct {
 	// pending is set between a reinstall entering its handler and the
 	// guest's next observable output.
 	pending bool
+	// lastFault is the id of the fault whose recovery is in progress:
+	// set by the injection event, cleared by the legality confirmation.
+	// Every event observed in between — machine interrupts and the
+	// derived stabilizer events alike — is stamped with it, which is
+	// what lets the obs episode reconstructor fold the stream causally.
+	lastFault uint64
 }
 
 // emit forwards one event to the sink, tolerating a nil sink (a
@@ -87,20 +96,35 @@ func (p *sysProbe) emit(e obs.Event) {
 	p.sink.Emit(e)
 }
 
+// derive builds one derived stabilizer event, stamped with the fault
+// id of the recovery in progress (zero outside any episode — e.g. the
+// periodic watchdog NMIs of an undisturbed run).
+func (p *sysProbe) derive(step uint64, t obs.Type) obs.Event {
+	e := obs.Ev(step, t)
+	e.FaultID = p.lastFault
+	return e
+}
+
 // Emit receives machine-level events (and fault-injection events, which
-// the injector routes through the machine probe), forwards them, and
-// appends the derived stabilizer events.
+// the injector routes through the machine probe; and the legality
+// tracker's confirmations), stamps them with the in-progress fault id,
+// forwards them, and appends the derived stabilizer events.
 func (p *sysProbe) Emit(e obs.Event) {
+	if e.Type == obs.TypeFaultInjected {
+		p.lastFault = e.FaultID
+	} else if e.FaultID == 0 {
+		e.FaultID = p.lastFault
+	}
 	p.emit(e)
 	a := p.sys.Cfg.Approach
 	switch e.Type {
 	case obs.TypeNMI:
 		switch a {
 		case ApproachReinstall, ApproachContinue, ApproachAdaptive:
-			p.emit(obs.Ev(e.Step, obs.TypeReinstallStarted))
+			p.emit(p.derive(e.Step, obs.TypeReinstallStarted))
 			p.pending = true
 		case ApproachMonitor:
-			p.emit(obs.Ev(e.Step, obs.TypePredicateEval))
+			p.emit(p.derive(e.Step, obs.TypePredicateEval))
 		}
 	case obs.TypeException, obs.TypeReset:
 		switch a {
@@ -111,26 +135,30 @@ func (p *sysProbe) Emit(e obs.Event) {
 			// so the monitor falls back to a full reinstall. Report the
 			// implicit predicate failure ahead of the reinstall; Code
 			// carries the exception vector.
-			fail := obs.Ev(e.Step, obs.TypePredicateFailed)
+			fail := p.derive(e.Step, obs.TypePredicateFailed)
 			fail.Code = e.Code
 			p.emit(fail)
-			p.emit(obs.Ev(e.Step, obs.TypeReinstallStarted))
+			p.emit(p.derive(e.Step, obs.TypeReinstallStarted))
 			p.pending = true
 		case ApproachReinstall, ApproachContinue, ApproachAdaptive:
-			p.emit(obs.Ev(e.Step, obs.TypeReinstallStarted))
+			p.emit(p.derive(e.Step, obs.TypeReinstallStarted))
 			p.pending = true
 		}
 	case obs.TypeFaultInjected:
 		if p.legal != nil {
 			p.legal.OnFault(e.Step)
 		}
+	case obs.TypeLegalityRegained:
+		// The episode this confirmation closes is over; later events
+		// are outside any episode until the next injection.
+		p.lastFault = 0
 	}
 }
 
 func (p *sysProbe) onHeartbeat(step uint64, v uint16) {
 	if p.pending {
 		p.pending = false
-		p.emit(obs.Ev(step, obs.TypeReinstallCompleted))
+		p.emit(p.derive(step, obs.TypeReinstallCompleted))
 	}
 	if p.legal != nil {
 		p.legal.OnBeat(step, v)
@@ -138,10 +166,10 @@ func (p *sysProbe) onHeartbeat(step uint64, v uint16) {
 }
 
 func (p *sysProbe) onRepair(step uint64, v uint16) {
-	fail := obs.Ev(step, obs.TypePredicateFailed)
+	fail := p.derive(step, obs.TypePredicateFailed)
 	fail.Code = uint64(v)
 	p.emit(fail)
-	rep := obs.Ev(step, obs.TypePredicateRepaired)
+	rep := p.derive(step, obs.TypePredicateRepaired)
 	rep.Code = uint64(v)
 	p.emit(rep)
 }

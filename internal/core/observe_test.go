@@ -161,3 +161,79 @@ func TestInstrumentIsPassive(t *testing.T) {
 		}
 	}
 }
+
+// Fault-id threading, end to end: every event emitted between an
+// injection and its legality re-confirmation carries the fault's
+// injector ordinal, the confirmation clears it, and events before the
+// injection (or after confirmation, absent a new fault) stay untagged.
+// This is the invariant the episode reconstructor keys on.
+func TestInstrumentThreadsFaultIDs(t *testing.T) {
+	s := MustNew(Config{Approach: ApproachMonitor})
+	col := obs.NewCollector()
+	s.Instrument(col)
+
+	s.Run(100000)
+	inj := fault.NewInjector(s.M, 1)
+	inj.RandomizeRegion(mem.Region{Name: "os", Start: uint32(guest.OSSeg) << 4, Size: guest.ImageSize})
+	s.Run(400000)
+
+	evs := col.Events()
+	fi := firstIndex(evs, obs.TypeFaultInjected)
+	lr := firstIndex(evs, obs.TypeLegalityRegained)
+	if fi < 0 || lr < 0 {
+		t.Fatalf("missing stages: fault=%d regained=%d", fi, lr)
+	}
+	for i, e := range evs[:fi] {
+		if e.FaultID != 0 {
+			t.Fatalf("pre-fault event %d (%s) tagged with fault %d", i, e.Type, e.FaultID)
+		}
+	}
+	if evs[fi].FaultID != 1 {
+		t.Fatalf("injection event fault id %d, want 1", evs[fi].FaultID)
+	}
+	for i := fi; i <= lr; i++ {
+		if evs[i].FaultID != 1 {
+			t.Fatalf("in-episode event %d (%s at step %d) untagged", i, evs[i].Type, evs[i].Step)
+		}
+	}
+	for i := lr + 1; i < len(evs); i++ {
+		if evs[i].FaultID != 0 {
+			t.Fatalf("post-confirmation event %d (%s) still tagged with fault %d", i, evs[i].Type, evs[i].FaultID)
+		}
+	}
+
+	// The fold over this real stream yields exactly one resolved episode.
+	eps := obs.FoldEpisodes(evs)
+	if len(eps) != 1 || !eps[0].Resolved || eps[0].Resolution != obs.ResolutionLegality {
+		t.Fatalf("episodes from real stream: %+v", eps)
+	}
+	if eps[0].FaultID != 1 || eps[0].FaultClass != "ram-region" {
+		t.Fatalf("episode identity: %+v", eps[0])
+	}
+	if len(eps[0].Spans) == 0 {
+		t.Fatal("episode has no spans")
+	}
+}
+
+// Same seed, same trace: the exported Chrome trace_event document is
+// byte-identical across runs (the CLI-level cmp in CI re-checks this
+// through cmd/ssos-run's -trace-spans-out).
+func TestTraceSpansDeterministic(t *testing.T) {
+	run := func() []byte {
+		s := MustNew(Config{Approach: ApproachMonitor})
+		col := obs.NewCollector()
+		s.Instrument(col)
+		s.Run(50000)
+		inj := fault.NewInjector(s.M, 7)
+		inj.BlastCPU()
+		s.Run(200000)
+		return obs.AppendTrace(nil, obs.FoldEpisodes(col.Events()), s.Steps())
+	}
+	first := run()
+	if !bytes.Equal(first, run()) {
+		t.Fatal("trace export not deterministic across same-seed runs")
+	}
+	if !bytes.Contains(first, []byte(`"cat":"episode"`)) {
+		t.Fatalf("trace has no episode events: %s", first)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"ssos/internal/cluster"
 	"ssos/internal/core"
+	"ssos/internal/obs"
 )
 
 // E14ClusterAvailability measures the replication layer built on top of
@@ -23,7 +24,14 @@ import (
 // voting fleet loses an epoch only when strikes hit a majority inside
 // it, and the reconfigurator's evict/reinstall/rejoin keeps strike
 // damage from accumulating across epochs.
-func E14ClusterAvailability(o Options) (*Table, *Series) {
+//
+// Beyond the availability ratio, the highest-rate column instruments
+// its runs and folds the event stream into recovery episodes (see
+// internal/obs), reporting per-episode latency percentiles — how long
+// a struck replica actually takes from injection to confirmed recovery
+// (legality or evict/rejoin). The second returned Series (F7B) plots
+// those percentiles against replica count.
+func E14ClusterAvailability(o Options) (*Table, *Series, *Series) {
 	probs := []float64{0, 0.1, 0.25, 0.35}
 	counts := []int{1, 3, 5, 7, 9}
 	steps := cluster.DefaultEpochSteps
@@ -50,15 +58,20 @@ func E14ClusterAvailability(o Options) (*Table, *Series) {
 		t.Columns = append(t.Columns, fmt.Sprintf("avail p=%g", p))
 	}
 	pMax := probs[len(probs)-1]
-	t.Columns = append(t.Columns, fmt.Sprintf("evictions p=%g", pMax))
+	t.Columns = append(t.Columns,
+		fmt.Sprintf("evictions p=%g", pMax),
+		fmt.Sprintf("ep-lat p50 p=%g", pMax),
+		fmt.Sprintf("ep-lat p99 p=%g", pMax))
 
 	lines := make([]Line, len(probs))
 	for pi, p := range probs {
 		lines[pi].Name = fmt.Sprintf("p=%g strikes/replica-epoch", p)
 	}
+	latLines := []Line{{Name: "episode latency p50"}, {Name: "episode latency p99"}}
 	for _, n := range counts {
 		row := []string{fmt.Sprint(n), fmt.Sprint(n/2 + 1)}
 		evictions := 0
+		var latP50, latP99 uint64
 		for pi, p := range probs {
 			cfg := cluster.Config{
 				Replicas:   n,
@@ -69,6 +82,12 @@ func E14ClusterAvailability(o Options) (*Table, *Series) {
 			if p > 0 {
 				cfg.Faults = cluster.ModeOSBlast
 				cfg.StrikeProb = p
+			}
+			atPMax := pi == len(probs)-1
+			if atPMax {
+				// Instrument the highest-rate cell so recovery-episode
+				// latencies come out of the same run that scores it.
+				cfg.Collector = obs.NewCollector()
 			}
 			c := cluster.MustNew(cfg)
 			c.Run(epochs)
@@ -82,11 +101,20 @@ func E14ClusterAvailability(o Options) (*Table, *Series) {
 			row = append(row, fmt.Sprintf("%.3f", avail))
 			lines[pi].X = append(lines[pi].X, float64(n))
 			lines[pi].Y = append(lines[pi].Y, avail)
-			if pi == len(probs)-1 {
+			if atPMax {
 				evictions = c.Summary().Evictions
+				m := obs.NewMetrics()
+				obs.RecordEpisodes(m, obs.FoldEpisodes(cfg.Collector.Events()))
+				sorted := m.SortedSamples("episode.latency")
+				latP50 = obs.Quantile(sorted, 50)
+				latP99 = obs.Quantile(sorted, 99)
+				latLines[0].X = append(latLines[0].X, float64(n))
+				latLines[0].Y = append(latLines[0].Y, float64(latP50))
+				latLines[1].X = append(latLines[1].X, float64(n))
+				latLines[1].Y = append(latLines[1].Y, float64(latP99))
 			}
 		}
-		row = append(row, fmt.Sprint(evictions))
+		row = append(row, fmt.Sprint(evictions), fmt.Sprint(latP50), fmt.Sprint(latP99))
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf(
@@ -100,7 +128,13 @@ func E14ClusterAvailability(o Options) (*Table, *Series) {
 			"failure forces a fresh boot; larger fleets lose an epoch only when strikes "+
 			"hit a majority inside it, and eviction/rejoin stops damage from carrying over")
 
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"ep-lat columns: recovery-episode latency percentiles (machine steps from fault "+
+			"injection to confirmed recovery) folded from the instrumented p=%g runs", pMax))
+
 	f := &Series{ID: "F7", Title: "Cluster availability vs replica count and fault rate",
 		XLabel: "replicas", YLabel: "availability (clean-quorum epochs)", Lines: lines}
-	return t, f
+	fb := &Series{ID: "F7B", Title: fmt.Sprintf("Cluster recovery-episode latency vs replica count (p=%g)", pMax),
+		XLabel: "replicas", YLabel: "episode latency (steps)", Lines: latLines}
+	return t, f, fb
 }

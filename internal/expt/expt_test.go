@@ -312,10 +312,13 @@ func TestE13SilentFaultsNeedNonMaskableTrigger(t *testing.T) {
 }
 
 func TestE14VotingScalesAvailability(t *testing.T) {
-	tab, fig := E14ClusterAvailability(quick)
+	tab, fig, figLat := E14ClusterAvailability(quick)
 	if len(tab.Rows) != 5 {
 		t.Fatalf("rows: %d", len(tab.Rows))
 	}
+	// Column layout: replicas, quorum, one availability column per
+	// probability, evictions, then the episode-latency percentiles.
+	const pMaxCol = 5
 	// Fault-free column is fully available at every fleet size.
 	for _, row := range tab.Rows {
 		if got := cellFloat(t, row[2]); got != 1 {
@@ -324,13 +327,24 @@ func TestE14VotingScalesAvailability(t *testing.T) {
 	}
 	// At the harshest fault rate, a real fleet (N>=5) must beat the
 	// single node: voting masks what one machine can only repair late.
-	single := cellFloat(t, tab.Rows[0][len(tab.Rows[0])-2])
+	single := cellFloat(t, tab.Rows[0][pMaxCol])
 	for _, row := range tab.Rows[2:] {
-		if got := cellFloat(t, row[len(row)-2]); got < single {
+		if got := cellFloat(t, row[pMaxCol]); got < single {
 			t.Errorf("N=%s availability %v below single-node %v", row[0], got, single)
+		}
+	}
+	// The instrumented pMax runs strike constantly, so every fleet size
+	// must have resolved at least one recovery episode, and p99 >= p50.
+	for _, row := range tab.Rows {
+		p50, p99 := cellFloat(t, row[pMaxCol+2]), cellFloat(t, row[pMaxCol+3])
+		if p50 <= 0 || p99 < p50 {
+			t.Errorf("N=%s episode latency p50=%v p99=%v", row[0], p50, p99)
 		}
 	}
 	if fig.ID != "F7" || len(fig.Lines) != 4 {
 		t.Fatalf("figure: %+v", fig)
+	}
+	if figLat.ID != "F7B" || len(figLat.Lines) != 2 || len(figLat.Lines[0].X) != 5 {
+		t.Fatalf("latency figure: %+v", figLat)
 	}
 }

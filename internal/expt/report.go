@@ -375,8 +375,8 @@ func All(o Options) *Report {
 	t11 := E11Protection(o)
 	t12 := E12AdaptiveWatchdog(o)
 	t13 := E13TickfulSilentFaults(o)
-	t14, f7 := E14ClusterAvailability(o)
+	t14, f7, f7b := E14ClusterAvailability(o)
 	r.Tables = append(r.Tables, t1, t2, t3, t4, t5, t6, t7, t8, t9, t10, t11, t12, t13, t14)
-	r.Series = append(r.Series, f1, f2, f3, E6FairnessFigure(o), f5, f6, f7)
+	r.Series = append(r.Series, f1, f2, f3, E6FairnessFigure(o), f5, f6, f7, f7b)
 	return r
 }

@@ -94,6 +94,10 @@ func (in *Injector) record(k Kind, addr uint32, note string) {
 	in.Log = append(in.Log, Record{Step: in.M.Stats.Steps, Kind: k, Addr: addr, Note: note})
 	if in.M.Probe != nil {
 		ev := obs.Ev(in.M.Stats.Steps, obs.TypeFaultInjected)
+		// The 1-based Log ordinal is the fault id the episode
+		// reconstructor keys on; the core/cluster instrumentation stamps
+		// it onto every event derived during the recovery.
+		ev.FaultID = uint64(len(in.Log))
 		ev.Code = uint64(k)
 		ev.Arg = uint64(addr)
 		if note != "" {

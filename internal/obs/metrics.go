@@ -86,7 +86,34 @@ type HistSummary struct {
 	Max   uint64  `json:"max"`
 	Mean  float64 `json:"mean"`
 	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
 	P95   uint64  `json:"p95"`
+	P99   uint64  `json:"p99"`
+}
+
+// Quantile returns the pct-th percentile of ascending-sorted samples,
+// using the same rank convention (index n*pct/100) everywhere a
+// percentile is reported — histogram summaries, experiment tables and
+// the served Prometheus endpoint all call this one function, which is
+// what makes a scraped quantile byte-comparable to a batch-computed
+// one for the same samples.
+func Quantile(sorted []uint64, pct int) uint64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := len(sorted) * pct / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// SortedSamples returns the named histogram's samples in ascending
+// order, ready for Quantile.
+func (m *Metrics) SortedSamples(name string) []uint64 {
+	sorted := append([]uint64(nil), m.hists[name]...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted
 }
 
 func summarizeHist(xs []uint64) HistSummary {
@@ -104,8 +131,10 @@ func summarizeHist(xs []uint64) HistSummary {
 		Min:   sorted[0],
 		Max:   sorted[len(sorted)-1],
 		Mean:  sum / float64(len(sorted)),
-		P50:   sorted[len(sorted)/2],
-		P95:   sorted[len(sorted)*95/100],
+		P50:   Quantile(sorted, 50),
+		P90:   Quantile(sorted, 90),
+		P95:   Quantile(sorted, 95),
+		P99:   Quantile(sorted, 99),
 	}
 }
 

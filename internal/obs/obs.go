@@ -115,11 +115,22 @@ func (t Type) String() string {
 // never appears, keeping output reproducible). Replica and Epoch are
 // -1 outside a cluster context; Code and Arg carry type-specific
 // numeric payloads documented on the Type constants.
+//
+// FaultID is the episode key: every injected fault gets a 1-based
+// ordinal from its injector, and the instrumentation layer stamps that
+// ordinal onto every event it derives between the injection and the
+// legality re-confirmation (reinstalls, predicate repairs, evictions,
+// rejoins, the legality-regained confirmation itself). Zero means
+// "outside any recovery episode" — e.g. the periodic watchdog NMIs of
+// an undisturbed run. The (Replica, FaultID) pair lets the episode
+// reconstructor fold the stream into causal recovery episodes without
+// any step-window heuristics.
 type Event struct {
 	Step    uint64
 	Type    Type
 	Replica int
 	Epoch   int
+	FaultID uint64
 	Code    uint64
 	Arg     uint64
 	Note    string
@@ -147,6 +158,10 @@ func (e Event) AppendJSON(b []byte) []byte {
 	if e.Epoch >= 0 {
 		b = append(b, `,"epoch":`...)
 		b = strconv.AppendInt(b, int64(e.Epoch), 10)
+	}
+	if e.FaultID != 0 {
+		b = append(b, `,"fault":`...)
+		b = strconv.AppendUint(b, e.FaultID, 10)
 	}
 	if e.Code != 0 {
 		b = append(b, `,"code":`...)
@@ -192,15 +207,26 @@ type Collector struct {
 	// Metrics is the registry events are folded into.
 	Metrics *Metrics
 	// Hook, when non-nil, is invoked for every event entering the
-	// buffer (Emit and Append alike) with the event's buffer index —
-	// the cursor a reader would pass to EventsSince to start at that
-	// event. It is called under the collector lock, so hooks must be
-	// cheap and must not call back into the collector; the serve layer
-	// uses it to fan events out to live SSE subscribers.
+	// buffer (Emit and Append alike) with the event's absolute stream
+	// index — the cursor a reader would pass to EventsSince to start at
+	// that event. It is called under the collector lock, so hooks must
+	// be cheap and must not call back into the collector; the serve
+	// layer uses it to fan events out to live SSE subscribers and to
+	// feed the live episode tracker.
+	//
+	// Cursors are positions in the collector's lifetime stream, not in
+	// the current buffer: Drain advances a base offset instead of
+	// resetting indices, so a hooked publish that races a Drain can
+	// never observe a half-reset collector or a cursor that aliases an
+	// already-drained event. Indices handed to the hook are strictly
+	// increasing for the collector's lifetime, drains included.
 	Hook func(idx int, e Event)
 
 	mu     sync.Mutex
 	events []Event
+	// drained counts events removed by Drain; the absolute stream index
+	// of events[i] is drained+i.
+	drained int
 }
 
 // NewCollector returns an unscoped collector with a fresh registry.
@@ -220,7 +246,7 @@ func (c *Collector) Emit(e Event) {
 	c.events = append(c.events, e)
 	c.observe(e)
 	if c.Hook != nil {
-		c.Hook(len(c.events)-1, e)
+		c.Hook(c.drained+len(c.events)-1, e)
 	}
 	c.mu.Unlock()
 }
@@ -235,7 +261,7 @@ func (c *Collector) Append(events ...Event) {
 	for _, e := range events {
 		c.events = append(c.events, e)
 		if c.Hook != nil {
-			c.Hook(len(c.events)-1, e)
+			c.Hook(c.drained+len(c.events)-1, e)
 		}
 	}
 	c.mu.Unlock()
@@ -284,11 +310,14 @@ func (c *Collector) observe(e Event) {
 func (c *Collector) Events() []Event { return c.EventsSince(0) }
 
 // EventsSince returns a snapshot of the buffered events from the given
-// cursor (a buffer index) onward. Cursors beyond the buffer yield nil,
-// so a poller can hand back the count from its previous call verbatim.
+// cursor (an absolute stream index) onward. Cursors beyond the stream
+// yield nil, so a poller can hand back the Len from its previous call
+// verbatim; cursors pointing before the retained buffer (possible only
+// after a Drain) start at the oldest retained event.
 func (c *Collector) EventsSince(cursor int) []Event {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	cursor -= c.drained
 	if cursor < 0 {
 		cursor = 0
 	}
@@ -298,19 +327,29 @@ func (c *Collector) EventsSince(cursor int) []Event {
 	return append([]Event(nil), c.events[cursor:]...)
 }
 
-// Len returns the number of buffered events.
+// Len returns the total number of events the collector has ever
+// buffered — the absolute stream length, drains included, so Len's
+// value is always a valid EventsSince cursor for "everything new from
+// here".
 func (c *Collector) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.events)
+	return c.drained + len(c.events)
 }
 
 // Drain returns the buffered events and clears the buffer (metrics are
 // untouched — they aggregate over the collector's whole lifetime).
+// Drains advance the absolute stream offset rather than resetting it,
+// so Hook indices and EventsSince cursors stay coherent across drains:
+// an Emit racing a Drain is either drained (and its hook index points
+// at the now-removed prefix, which EventsSince maps to the oldest
+// retained event) or retained (and its index resolves exactly), never
+// half of each.
 func (c *Collector) Drain() []Event {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := c.events
+	c.drained += len(out)
 	c.events = nil
 	return out
 }

@@ -304,3 +304,123 @@ func TestCollectorHookSeesEveryEventWithItsCursor(t *testing.T) {
 		}
 	}
 }
+
+// TestEventJSONFaultField: the fault-id episode key renders between
+// epoch and code, and is omitted when zero (outside any episode).
+func TestEventJSONFaultField(t *testing.T) {
+	e := Event{Step: 7, Type: TypeReinstallStarted, Replica: 1, Epoch: 2, FaultID: 3, Code: 4}
+	want := `{"step":7,"type":"reinstall-started","replica":1,"epoch":2,"fault":3,"code":4}`
+	if got := string(e.AppendJSON(nil)); got != want {
+		t.Fatalf("fault-tagged event JSON:\n got %s\nwant %s", got, want)
+	}
+	e.FaultID = 0
+	if got := string(e.AppendJSON(nil)); strings.Contains(got, "fault") {
+		t.Fatalf("fault field rendered at zero: %s", got)
+	}
+}
+
+// TestCursorsSurviveDrain: Hook indices and EventsSince cursors are
+// positions in the collector's lifetime stream, so a cursor taken
+// before a Drain still resolves correctly after it.
+func TestCursorsSurviveDrain(t *testing.T) {
+	c := NewCollector()
+	var idxs []int
+	c.Hook = func(idx int, e Event) { idxs = append(idxs, idx) }
+	c.Emit(Ev(10, TypeNMI))
+	c.Emit(Ev(20, TypeIRQ))
+	if got := c.Drain(); len(got) != 2 {
+		t.Fatalf("drain: %v", got)
+	}
+	c.Emit(Ev(30, TypeReset))
+	c.Append(Ev(40, TypeException))
+	if want := []int{0, 1, 2, 3}; len(idxs) != 4 || idxs[2] != 2 || idxs[3] != 3 {
+		t.Fatalf("hook indices %v, want %v (absolute, drains included)", idxs, want)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want lifetime length 4", c.Len())
+	}
+	// Cursor 2 points at the first retained event; cursor 0 is before the
+	// retained buffer and clamps to the oldest retained event.
+	if got := c.EventsSince(2); len(got) != 2 || got[0].Step != 30 {
+		t.Fatalf("EventsSince(2): %v", got)
+	}
+	if got := c.EventsSince(0); len(got) != 2 || got[0].Step != 30 {
+		t.Fatalf("EventsSince(0) after drain: %v", got)
+	}
+	if got := c.EventsSince(c.Len()); got != nil {
+		t.Fatalf("EventsSince(Len): %v, want nil", got)
+	}
+}
+
+// TestConcurrentDrainEmitHookCoherent races Emit against Drain while a
+// Hook observes every event, and checks the cursor contract under -race:
+// hook indices are strictly increasing across the collector's lifetime
+// and every event is delivered to the hook exactly once, no matter how
+// the drains interleave.
+func TestConcurrentDrainEmitHookCoherent(t *testing.T) {
+	c := NewCollector()
+	var mu sync.Mutex
+	var idxs []int
+	seen := make(map[uint64]int)
+	c.Hook = func(idx int, e Event) {
+		mu.Lock()
+		idxs = append(idxs, idx)
+		seen[e.Step]++
+		mu.Unlock()
+	}
+
+	const emitters = 4
+	const perEmitter = 300
+	var emitWg, drainWg sync.WaitGroup
+	var drained atomic.Int64
+	stop := make(chan struct{})
+	for e := 0; e < emitters; e++ {
+		emitWg.Add(1)
+		go func(e int) {
+			defer emitWg.Done()
+			for i := 0; i < perEmitter; i++ {
+				c.Emit(Ev(uint64(e*perEmitter+i), TypeNMI))
+			}
+		}(e)
+	}
+	drainWg.Add(1)
+	go func() {
+		defer drainWg.Done()
+		for {
+			drained.Add(int64(len(c.Drain())))
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	emitWg.Wait()
+	close(stop)
+	drainWg.Wait()
+
+	const emitted = emitters * perEmitter
+	if total := drained.Add(int64(len(c.Drain()))); total != emitted {
+		t.Fatalf("event conservation: drained %d, emitted %d", total, emitted)
+	}
+	if c.Len() != emitted {
+		t.Fatalf("lifetime Len = %d, want %d", c.Len(), emitted)
+	}
+	if len(idxs) != emitted {
+		t.Fatalf("hook calls: %d, want %d", len(idxs), emitted)
+	}
+	for i := 1; i < len(idxs); i++ {
+		if idxs[i] <= idxs[i-1] {
+			t.Fatalf("hook indices not strictly increasing: idx[%d]=%d, idx[%d]=%d",
+				i-1, idxs[i-1], i, idxs[i])
+		}
+	}
+	if idxs[len(idxs)-1] != emitted-1 {
+		t.Fatalf("last hook index %d, want %d", idxs[len(idxs)-1], emitted-1)
+	}
+	for step, n := range seen {
+		if n != 1 {
+			t.Fatalf("event step %d delivered to hook %d times", step, n)
+		}
+	}
+}

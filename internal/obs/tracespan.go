@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace_event export: recovery episodes rendered as a span tree
+// that Perfetto (ui.perfetto.dev) or chrome://tracing can load
+// directly.
+//
+// Mapping: one trace process per episode scope (pid 0 = the single
+// machine, pid r+1 = replica r), one trace thread per episode (tid =
+// episode ID), one complete event (ph "X") for the episode's root
+// interval and one per recovery-phase span. Timestamps are machine
+// steps, not microseconds — the viewer's time unit label is wrong but
+// the geometry is exact, and steps are the only clock that keeps the
+// file byte-identical across same-seed runs. The writer builds JSON by
+// hand in a fixed field order for the same reason.
+
+// AppendTrace appends the episodes as a Chrome trace_event JSON
+// document. In-flight episodes (and their root spans) are closed at
+// horizon, the final step of the run.
+func AppendTrace(b []byte, eps []Episode, horizon uint64) []byte {
+	b = append(b, `{"traceEvents":[`...)
+	first := true
+	sep := func() {
+		if !first {
+			b = append(b, ',', '\n')
+		}
+		first = false
+	}
+
+	// Process-name metadata, one per distinct scope. Scopes are
+	// collected in first-seen order and sorted, so emission never
+	// touches map iteration order.
+	seen := make(map[int]bool)
+	var pids []int
+	for i := range eps {
+		pid := eps[i].Replica + 1
+		if !seen[pid] {
+			seen[pid] = true
+			pids = append(pids, pid)
+		}
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		name := "machine"
+		if pid > 0 {
+			name = "replica " + strconv.Itoa(pid-1)
+		}
+		sep()
+		b = append(b, `{"name":"process_name","ph":"M","pid":`...)
+		b = strconv.AppendInt(b, int64(pid), 10)
+		b = append(b, `,"tid":0,"args":{"name":`...)
+		b = strconv.AppendQuote(b, name)
+		b = append(b, `}}`...)
+	}
+
+	for i := range eps {
+		ep := &eps[i]
+		pid, tid := ep.Replica+1, ep.ID
+		end := ep.End
+		inFlight := !ep.Resolved && !ep.Preempted
+		if inFlight && horizon > end {
+			end = horizon
+		}
+		sep()
+		b = append(b, `{"name":`...)
+		b = strconv.AppendQuote(b, "episode#"+strconv.Itoa(ep.ID)+" "+ep.FaultClass)
+		b = append(b, `,"cat":"episode","ph":"X","pid":`...)
+		b = appendSpanTail(b, pid, tid, ep.Start, end)
+		b = append(b, `,"args":{"fault_id":`...)
+		b = strconv.AppendUint(b, ep.FaultID, 10)
+		b = append(b, `,"fault_class":`...)
+		b = strconv.AppendQuote(b, ep.FaultClass)
+		b = append(b, `,"resolution":`...)
+		b = strconv.AppendQuote(b, ep.Resolution)
+		b = append(b, `,"steps_to_legal":`...)
+		b = strconv.AppendUint(b, ep.StepsToLegal, 10)
+		b = append(b, `,"predicate_evals":`...)
+		b = strconv.AppendInt(b, int64(ep.Evals), 10)
+		b = append(b, `,"preempted":`...)
+		b = strconv.AppendBool(b, ep.Preempted)
+		b = append(b, `,"in_flight":`...)
+		b = strconv.AppendBool(b, inFlight)
+		b = append(b, `}}`...)
+
+		for _, sp := range ep.Spans {
+			sep()
+			b = append(b, `{"name":`...)
+			b = strconv.AppendQuote(b, sp.Name)
+			b = append(b, `,"cat":"span","ph":"X","pid":`...)
+			b = appendSpanTail(b, pid, tid, sp.Start, sp.End)
+			b = append(b, `}`...)
+		}
+	}
+	return append(b, `],"displayTimeUnit":"ns"}`...)
+}
+
+// appendSpanTail renders the shared pid/tid/ts/dur suffix of a complete
+// event (the caller has already emitted `"pid":`).
+func appendSpanTail(b []byte, pid, tid int, start, end uint64) []byte {
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"ts":`...)
+	b = strconv.AppendUint(b, start, 10)
+	b = append(b, `,"dur":`...)
+	if end < start {
+		end = start
+	}
+	b = strconv.AppendUint(b, end-start, 10)
+	return b
+}
+
+// WriteTrace writes the episodes as a trace_event JSON document
+// followed by a newline.
+func WriteTrace(w io.Writer, eps []Episode, horizon uint64) error {
+	b := AppendTrace(nil, eps, horizon)
+	b = append(b, '\n')
+	_, err := w.Write(b)
+	return err
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// traceDoc mirrors the Chrome trace_event shape we emit, for
+// validation; unknown fields in the real document would simply be
+// dropped, so the schema check below works off raw maps instead.
+type traceDoc struct {
+	TraceEvents     []map[string]any `json:"traceEvents"`
+	DisplayTimeUnit string           `json:"displayTimeUnit"`
+}
+
+func traceEpisodes() []Episode {
+	stream := append(machineRecovery(),
+		Event{Step: 5000, Type: TypeFaultInjected, Replica: 2, Epoch: 1, FaultID: 1, Note: "cpu-blast"},
+		Event{Step: 8192, Type: TypeReplicaEvicted, Replica: 2, Epoch: 1, FaultID: 1, Note: "divergent"},
+		Event{Step: 8192, Type: TypeReplicaRejoined, Replica: 2, Epoch: 1, FaultID: 1, Arg: 1},
+		Event{Step: 9000, Type: TypeFaultInjected, Replica: 0, Epoch: 2, FaultID: 2, Note: "halt"}, // stays in flight
+	)
+	return FoldEpisodes(stream)
+}
+
+func TestAppendTraceByteIdentical(t *testing.T) {
+	eps := traceEpisodes()
+	a := AppendTrace(nil, eps, 10000)
+	b := AppendTrace(nil, eps, 10000)
+	if !bytes.Equal(a, b) {
+		t.Error("two renders of the same episodes differ")
+	}
+	c := AppendTrace(nil, FoldEpisodes(append(machineRecovery(),
+		Event{Step: 5000, Type: TypeFaultInjected, Replica: 2, Epoch: 1, FaultID: 1, Note: "cpu-blast"},
+		Event{Step: 8192, Type: TypeReplicaEvicted, Replica: 2, Epoch: 1, FaultID: 1, Note: "divergent"},
+		Event{Step: 8192, Type: TypeReplicaRejoined, Replica: 2, Epoch: 1, FaultID: 1, Arg: 1},
+		Event{Step: 9000, Type: TypeFaultInjected, Replica: 0, Epoch: 2, FaultID: 2, Note: "halt"},
+	)), 10000)
+	if !bytes.Equal(a, c) {
+		t.Error("re-folding the same stream changes the trace bytes")
+	}
+}
+
+func TestAppendTraceSchema(t *testing.T) {
+	raw := AppendTrace(nil, traceEpisodes(), 10000)
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, raw)
+	}
+	if doc.DisplayTimeUnit == "" {
+		t.Error("displayTimeUnit missing")
+	}
+	var meta, episodes, spans int
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "M":
+			meta++
+			if ev["name"] != "process_name" {
+				t.Errorf("unexpected metadata event %v", ev)
+			}
+		case "X":
+			for _, field := range []string{"name", "cat", "pid", "tid", "ts", "dur"} {
+				if _, ok := ev[field]; !ok {
+					t.Errorf("complete event missing %q: %v", field, ev)
+				}
+			}
+			if ev["cat"] == "episode" {
+				episodes++
+				args, ok := ev["args"].(map[string]any)
+				if !ok {
+					t.Fatalf("episode event without args: %v", ev)
+				}
+				for _, field := range []string{"fault_id", "fault_class", "resolution", "steps_to_legal", "predicate_evals", "preempted", "in_flight"} {
+					if _, ok := args[field]; !ok {
+						t.Errorf("episode args missing %q: %v", field, args)
+					}
+				}
+			} else {
+				spans++
+			}
+		default:
+			t.Errorf("unexpected phase %q: %v", ph, ev)
+		}
+	}
+	// Scopes: machine (-1), replica 2, replica 0 → three process_name
+	// records. Episodes: machine recovery, evict-rejoin, in-flight halt.
+	if meta != 3 || episodes != 3 || spans == 0 {
+		t.Errorf("event census meta=%d episodes=%d spans=%d", meta, episodes, spans)
+	}
+}
+
+// TestAppendTraceInFlightExtendsToHorizon: an unresolved episode's root
+// interval runs to the end of the run, so the viewer shows it still
+// open rather than as a zero-width sliver.
+func TestAppendTraceInFlightExtendsToHorizon(t *testing.T) {
+	f := Ev(9000, TypeFaultInjected)
+	f.FaultID = 1
+	f.Note = "halt"
+	raw := AppendTrace(nil, FoldEpisodes([]Event{f}), 12345)
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev["cat"] != "episode" {
+			continue
+		}
+		found = true
+		ts, dur := ev["ts"].(float64), ev["dur"].(float64)
+		if ts != 9000 || dur != 12345-9000 {
+			t.Errorf("in-flight root ts=%v dur=%v, want 9000/%d", ts, dur, 12345-9000)
+		}
+		args := ev["args"].(map[string]any)
+		if args["in_flight"] != true {
+			t.Errorf("in_flight flag: %v", args)
+		}
+	}
+	if !found {
+		t.Fatal("no episode event in trace")
+	}
+}
+
+// TestAppendTraceMetadataOrder: process_name records come first, sorted
+// by pid, regardless of episode order — the concrete guard against map
+// iteration sneaking into the byte stream.
+func TestAppendTraceMetadataOrder(t *testing.T) {
+	eps := []Episode{
+		{ID: 1, Replica: 3, FaultID: 1, FaultClass: "a", Start: 1, End: 2, Resolved: true, Resolution: ResolutionLegality},
+		{ID: 2, Replica: 0, FaultID: 2, FaultClass: "b", Start: 3, End: 4, Resolved: true, Resolution: ResolutionLegality},
+		{ID: 3, Replica: -1, FaultID: 3, FaultClass: "c", Start: 5, End: 6, Resolved: true, Resolution: ResolutionLegality},
+	}
+	raw := AppendTrace(nil, eps, 10)
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var pids []float64
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "M" {
+			pids = append(pids, ev["pid"].(float64))
+		} else {
+			break // metadata is a strict prefix
+		}
+	}
+	if len(pids) != 3 || pids[0] != 0 || pids[1] != 1 || pids[2] != 4 {
+		t.Errorf("metadata pid order %v, want [0 1 4]", pids)
+	}
+}

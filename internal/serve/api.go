@@ -23,8 +23,10 @@ import (
 //	POST   /api/sessions/{id}/fault   inject ({"kind":"os-blast"[,"replica":i]})
 //	GET    /api/sessions/{id}/metrics stabilization metrics (JSON)
 //	GET    /api/sessions/{id}/events  retained event stream (JSONL; ?since=N)
+//	GET    /api/sessions/{id}/episodes reconstructed recovery episodes (JSON)
 //	GET    /api/sessions/{id}/stream  live event stream (SSE; ?since=N replays)
 //	DELETE /api/sessions/{id}         close and remove the session
+//	GET    /metrics                   Prometheus text exposition (scrape)
 //
 // The events endpoint's body is byte-identical to the batch CLIs'
 // -events-out file for the same image/seed/command sequence — that is
@@ -48,8 +50,10 @@ func NewServer(reg *Registry) *Server {
 	s.mux.HandleFunc("POST /api/sessions/{id}/fault", s.handleFault)
 	s.mux.HandleFunc("GET /api/sessions/{id}/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /api/sessions/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /api/sessions/{id}/episodes", s.handleEpisodes)
 	s.mux.HandleFunc("GET /api/sessions/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("DELETE /api/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /metrics", s.handlePromMetrics)
 	return s
 }
 

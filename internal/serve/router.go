@@ -30,8 +30,12 @@ type Frame struct {
 type Router struct {
 	ringSize int
 
-	mu     sync.Mutex
-	subs   map[*Subscriber]struct{}
+	mu sync.Mutex
+	// subs is kept as a slice in subscription order, so the fan-out in
+	// Publish (which runs under the collector lock) visits subscribers
+	// deterministically — and the detmap analyzer, which now covers this
+	// package, has no map iteration to squint at.
+	subs   []*Subscriber
 	closed bool
 }
 
@@ -41,7 +45,7 @@ func NewRouter(ringSize int) *Router {
 	if ringSize <= 0 {
 		ringSize = DefaultRingSize
 	}
-	return &Router{ringSize: ringSize, subs: make(map[*Subscriber]struct{})}
+	return &Router{ringSize: ringSize}
 }
 
 // Subscribe registers a new subscriber. Subscribing to a closed router
@@ -56,7 +60,7 @@ func (r *Router) Subscribe() *Subscriber {
 	if r.closed {
 		s.closed = true
 	} else {
-		r.subs[s] = struct{}{}
+		r.subs = append(r.subs, s)
 	}
 	r.mu.Unlock()
 	if s.closed {
@@ -68,7 +72,12 @@ func (r *Router) Subscribe() *Subscriber {
 // Unsubscribe removes the subscriber and marks it closed.
 func (r *Router) Unsubscribe(s *Subscriber) {
 	r.mu.Lock()
-	delete(r.subs, s)
+	for i, o := range r.subs {
+		if o == s {
+			r.subs = append(r.subs[:i], r.subs[i+1:]...)
+			break
+		}
+	}
 	r.mu.Unlock()
 	s.close()
 }
@@ -78,7 +87,7 @@ func (r *Router) Unsubscribe(s *Subscriber) {
 // work is a ring write and a non-blocking wake.
 func (r *Router) Publish(seq uint64, e obs.Event) {
 	r.mu.Lock()
-	for s := range r.subs {
+	for _, s := range r.subs {
 		s.push(Frame{Seq: seq, Ev: e})
 	}
 	r.mu.Unlock()
@@ -89,10 +98,10 @@ func (r *Router) Publish(seq uint64, e obs.Event) {
 func (r *Router) Close() {
 	r.mu.Lock()
 	subs := r.subs
-	r.subs = make(map[*Subscriber]struct{})
+	r.subs = nil
 	r.closed = true
 	r.mu.Unlock()
-	for s := range subs {
+	for _, s := range subs {
 		s.close()
 	}
 }

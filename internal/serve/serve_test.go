@@ -107,6 +107,7 @@ func TestMachineBridgeByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.ExportMetrics(col.Metrics)
+	obs.RecordEpisodes(col.Metrics, obs.FoldEpisodes(col.Events()))
 	var wantMetrics bytes.Buffer
 	if err := col.Metrics.WriteJSON(&wantMetrics); err != nil {
 		t.Fatal(err)
@@ -186,6 +187,7 @@ func TestClusterBridgeByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.FinishObservability()
+	obs.RecordEpisodes(col.Metrics, obs.FoldEpisodes(col.Events()))
 	var wantMetrics bytes.Buffer
 	if err := col.Metrics.WriteJSON(&wantMetrics); err != nil {
 		t.Fatal(err)

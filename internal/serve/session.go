@@ -32,9 +32,10 @@ type Session struct {
 	// Spec echoes the creation request after defaulting.
 	Spec SessionSpec
 
-	reg    *Registry
-	col    *obs.Collector
-	router *Router
+	reg     *Registry
+	col     *obs.Collector
+	router  *Router
+	tracker *obs.EpisodeTracker
 
 	// Exactly one of sys/clu is set, per Spec.Kind.
 	sys *core.System
@@ -71,12 +72,19 @@ func newSession(id string, sp SessionSpec, ringSize int) (*Session, error) {
 		return nil, err
 	}
 	s := &Session{
-		ID:     id,
-		Spec:   sp,
-		col:    obs.NewCollector(),
-		router: NewRouter(ringSize),
+		ID:      id,
+		Spec:    sp,
+		col:     obs.NewCollector(),
+		router:  NewRouter(ringSize),
+		tracker: obs.NewEpisodeTracker(),
 	}
+	// The hook runs under the collector lock; both consumers are cheap
+	// and never call back into the collector. Feeding the tracker here —
+	// rather than from a reader — is what keeps the live episode fold in
+	// lockstep with the event stream: a client that observes event idx
+	// also observes every episode transition that event caused.
 	s.col.Hook = func(idx int, e obs.Event) {
+		s.tracker.Feed(e)
 		s.router.Publish(uint64(idx), e)
 	}
 	switch sp.Kind {
@@ -362,23 +370,36 @@ func (s *Session) Inject(req FaultRequest) (*FaultResult, error) {
 // Metrics returns the session's stabilization-metrics registry,
 // assembled exactly as the batch CLIs would at this point in the run:
 // the collector registry plus the machine counters (machine sessions)
-// or the per-replica merge and availability gauges (cluster sessions).
+// or the per-replica merge and availability gauges (cluster sessions),
+// plus the episode counters and latency histograms folded from the
+// live tracker — the same RecordEpisodes the CLIs run post-hoc, so the
+// determinism bridge extends to the episode metrics.
 func (s *Session) Metrics() (*obs.Metrics, error) {
 	r, err := s.do(func() (interface{}, error) {
+		var snap *obs.Metrics
 		switch {
 		case s.sys != nil:
-			snap := s.col.MetricsSnapshot()
+			snap = s.col.MetricsSnapshot()
 			s.sys.ExportMetrics(snap)
-			return snap, nil
 		default:
-			return s.clu.MetricsSnapshot(), nil
+			snap = s.clu.MetricsSnapshot()
 		}
+		obs.RecordEpisodes(snap, s.tracker.Episodes())
+		return snap, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return r.(*obs.Metrics), nil
 }
+
+// Episodes returns the recovery episodes reconstructed so far,
+// in-flight ones included. Like EventsSince it reads the live tracker
+// directly — no command, safe mid-run.
+func (s *Session) Episodes() []obs.Episode { return s.tracker.Episodes() }
+
+// EpisodesInFlight returns the number of unresolved episodes.
+func (s *Session) EpisodesInFlight() int { return s.tracker.InFlight() }
 
 // EventsSince returns the retained event stream from the given cursor.
 // It reads the concurrent-safe collector directly — no command, so it
