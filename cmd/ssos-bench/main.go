@@ -1,5 +1,5 @@
-// Command ssos-bench regenerates every reproduction experiment (E1-E14
-// and figures F1-F7 from DESIGN.md) and prints the tables and ASCII
+// Command ssos-bench regenerates every reproduction experiment (E1-E15
+// and figures F1-F8 from DESIGN.md) and prints the tables and ASCII
 // figures. With -markdown it emits the experiment section consumed by
 // EXPERIMENTS.md; with -csv DIR it additionally writes each figure's
 // data as CSV and as machine-readable JSON alongside.
@@ -176,6 +176,10 @@ func runOne(id string, o expt.Options) *expt.Report {
 		t, f, fb := expt.E14ClusterAvailability(o)
 		r.Tables = append(r.Tables, t)
 		r.Series = append(r.Series, f, fb)
+	case "E15", "F8":
+		t, f := expt.E15LayeredRings(o)
+		r.Tables = append(r.Tables, t)
+		r.Series = append(r.Series, f)
 	default:
 		return nil
 	}

@@ -21,6 +21,12 @@
 // replica's last N steps; -events-out/-metrics-out write the
 // structured event stream (JSONL) and the stabilization metrics (JSON)
 // described in README "Observability".
+//
+// -ring kstate|dijkstra3|ghosh4 switches to the distributed token-ring
+// mode: one mailbox ring node per replica, connected only by the relay
+// shim. The fleet converges, every replica is scrambled at the layer
+// selected by -ring-scramble (ring|os|joint), and the run reports the
+// fleet-level steps-to-legal of the recovery.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 
 	"ssos/internal/cluster"
 	"ssos/internal/core"
+	"ssos/internal/guest"
 	"ssos/internal/obs"
 	"ssos/internal/pool"
 )
@@ -51,6 +58,8 @@ func main() {
 	epochSteps := flag.Int("epoch-steps", cluster.DefaultEpochSteps, "machine steps per epoch")
 	strikeEvery := flag.Int("strike-every", cluster.DefaultStrikeEvery, "strike a random minority every k-th epoch")
 	strikeProb := flag.Float64("strike-prob", 0, "strike each replica with this probability per epoch (overrides -strike-every)")
+	ringVariant := flag.String("ring", "", "ring-fleet mode: run this token-ring protocol (kstate|dijkstra3|ghosh4) one node per replica instead of the voting cluster")
+	ringScramble := flag.String("ring-scramble", "joint", "ring-fleet scramble class applied after initial convergence: ring|os|joint")
 	traceN := flag.Int("trace", 0, "keep a flight recorder of each replica's last N steps; dump it on eviction")
 	eventsOut := flag.String("events-out", "", "write the structured event stream as JSONL to this file")
 	metricsOut := flag.String("metrics-out", "", "write the stabilization metrics as JSON to this file")
@@ -58,6 +67,12 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size override (0 = GOMAXPROCS); results are identical for any setting")
 	flag.Parse()
 	pool.Workers = *workers
+
+	if *ringVariant != "" {
+		runRingFleet(*ringVariant, *ringScramble, *replicas, *seed,
+			*eventsOut, *metricsOut, *traceSpansOut)
+		return
+	}
 
 	a, ok := approaches[*approach]
 	if !ok {
@@ -108,6 +123,74 @@ func main() {
 			horizon := uint64(*epochs) * uint64(*epochSteps)
 			writeOut(*traceSpansOut, func(w io.Writer) error {
 				return obs.WriteTrace(w, eps, horizon)
+			})
+		}
+	}
+}
+
+// runRingFleet is the distributed token-ring mode: one mailbox ring
+// node per replica, the relay shim as the only channel. It converges
+// the fleet, scrambles the selected layer on every replica at once,
+// re-converges, and reports both recovery points; the observability
+// artifacts go through the same writers as the voting mode.
+func runRingFleet(variant, scramble string, replicas int, seed int64,
+	eventsOut, metricsOut, traceSpansOut string) {
+	v, err := guest.ParseRingVariant(variant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssos-cluster:", err)
+		os.Exit(2)
+	}
+	m, err := cluster.ParseRingScramble(scramble)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssos-cluster:", err)
+		os.Exit(2)
+	}
+	var col *obs.Collector
+	if eventsOut != "" || metricsOut != "" || traceSpansOut != "" {
+		col = obs.NewCollector()
+	}
+	f, err := cluster.NewRingFleet(cluster.RingFleetConfig{
+		Variant:   v,
+		Replicas:  replicas,
+		Seed:      seed,
+		Collector: col,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssos-cluster:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ring fleet: %d replicas, protocol %v, scramble %v, seed %d\n",
+		f.Nodes(), v, m, seed)
+	const window = 50
+	since, ok := f.Converged(6000000, window)
+	if !ok {
+		fmt.Printf("no initial convergence within %d steps; ring=%v\n", f.Steps(), f.Ring())
+		os.Exit(1)
+	}
+	fmt.Printf("converged: legal from fleet step %d, ring=%v\n", since, f.Ring())
+	scrambleAt := f.Steps()
+	f.Scramble(m)
+	fmt.Printf("scramble(%v) at fleet step %d\n", m, scrambleAt)
+	since, ok = f.Converged(12000000, window)
+	if !ok {
+		fmt.Printf("NOT re-converged by fleet step %d; privileges=%v ring=%v\n",
+			f.Steps(), f.Privileges(), f.Ring())
+	} else {
+		fmt.Printf("re-converged: legal from fleet step %d (%d steps after scramble), ring=%v\n",
+			since, since-scrambleAt, f.Ring())
+	}
+	if col != nil {
+		eps := obs.FoldEpisodes(col.Events())
+		obs.RecordEpisodes(col.Metrics, eps)
+		if eventsOut != "" {
+			writeOut(eventsOut, col.WriteJSONL)
+		}
+		if metricsOut != "" {
+			writeOut(metricsOut, col.Metrics.WriteJSON)
+		}
+		if traceSpansOut != "" {
+			writeOut(traceSpansOut, func(w io.Writer) error {
+				return obs.WriteTrace(w, eps, f.Steps())
 			})
 		}
 	}

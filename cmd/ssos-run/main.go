@@ -7,9 +7,12 @@
 //	ssos-run -approach reinstall -steps 500000 -fault os-blast -at 100000
 //
 // Approaches: baseline, reinstall, continue, monitor, primitive,
-// scheduler, checkpoint, adaptive. Faults: none, bitflip, os-blast,
-// cpu-blast, pc, all-ram, table-blast (scheduler), proc-code
-// (scheduler). -events-out/-metrics-out write the structured event
+// scheduler, checkpoint, adaptive, plus the workload images
+// scheduler-ring and scheduler-mbox-{kstate,dijkstra3,ghosh4} (token
+// rings communicating through the shared mailbox region). Faults:
+// none, bitflip, os-blast, cpu-blast, pc, all-ram, table-blast
+// (scheduler), proc-code (scheduler), mailbox (mailbox workloads).
+// -events-out/-metrics-out write the structured event
 // stream (JSONL) and the stabilization metrics (JSON) described in
 // README "Observability".
 package main
@@ -35,7 +38,7 @@ func main() {
 	approach := flag.String("approach", "reinstall", "system design: baseline|reinstall|continue|monitor|primitive|scheduler|checkpoint|adaptive")
 	steps := flag.Int("steps", 500000, "total steps to run")
 	period := flag.Uint("period", 0, "watchdog period / scheduling quantum (0 = default)")
-	faultKind := flag.String("fault", "none", "fault to inject: none|bitflip|os-blast|cpu-blast|pc|all-ram|table-blast|proc-code")
+	faultKind := flag.String("fault", "none", "fault to inject: none|bitflip|os-blast|cpu-blast|pc|all-ram|table-blast|proc-code|mailbox")
 	at := flag.Int("at", 100000, "step at which the fault is injected")
 	seed := flag.Int64("seed", 1, "fault-injection seed")
 	stock := flag.Bool("stock-nmi", false, "disable the paper's NMI-counter hardware")
@@ -143,6 +146,17 @@ func main() {
 				fmt.Print(" ")
 			}
 			fmt.Print(s.RingX(i))
+		}
+		fmt.Println("]")
+	}
+	if v, ok := s.Cfg.Workload.MailboxVariant(); ok {
+		ring := s.MailboxRing()
+		fmt.Printf("mailbox ring (%v): privileges=%v x=[", v, s.MailboxPrivileges())
+		for i := 0; i < s.MailboxNodes(); i++ {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Print(ring[i])
 		}
 		fmt.Println("]")
 	}

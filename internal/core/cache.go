@@ -24,7 +24,40 @@ var buildCache struct {
 	schedProt     *guest.Scheduler
 	procs         *guest.ProcSet
 	ringProcs     *guest.ProcSet
+	mboxProcs     map[guest.RingVariant]*guest.ProcSet
 	prim          *guest.Primitive
+}
+
+// nodeSetCache shares the per-(variant, node, ring-size) cluster
+// process sets across replica builds; unlike the fixed sets above they
+// are assembled on demand.
+var nodeSetCache struct {
+	mu sync.Mutex
+	m  map[nodeSetKey]*guest.ProcSet
+}
+
+type nodeSetKey struct {
+	v       guest.RingVariant
+	node, n int
+}
+
+// mailboxNodeSet returns the cached one-node-per-replica process set.
+func mailboxNodeSet(v guest.RingVariant, node, n int) (*guest.ProcSet, error) {
+	nodeSetCache.mu.Lock()
+	defer nodeSetCache.mu.Unlock()
+	key := nodeSetKey{v, node, n}
+	if set, ok := nodeSetCache.m[key]; ok {
+		return set, nil
+	}
+	set, err := guest.BuildNodeProcesses(v, node, n)
+	if err != nil {
+		return nil, err
+	}
+	if nodeSetCache.m == nil {
+		nodeSetCache.m = make(map[nodeSetKey]*guest.ProcSet)
+	}
+	nodeSetCache.m[key] = set
+	return set, nil
 }
 
 func buildAll() error {
@@ -62,6 +95,11 @@ func buildAll() error {
 		set(err)
 		c.ringProcs, err = guest.BuildRingProcesses()
 		set(err)
+		c.mboxProcs = make(map[guest.RingVariant]*guest.ProcSet)
+		for _, v := range guest.RingVariants() {
+			c.mboxProcs[v], err = guest.BuildMailboxProcesses(v)
+			set(err)
+		}
 		c.prim, err = guest.BuildPrimitive()
 		set(err)
 	})

@@ -148,6 +148,15 @@ type Config struct {
 	// Workload selects what the scheduler system runs (ignored by the
 	// other approaches).
 	Workload Workload
+	// RingNode and RingNodes deploy a mailbox ring workload as one node
+	// per machine: the system runs ring node RingNode of a
+	// RingNodes-sized ring in scheduler slot 0 (counter workers fill
+	// the other slots), with the neighbour mailbox slots relayed in
+	// from outside — internal/cluster's relay shim. Both zero (the
+	// default) runs the full guest.MailboxNodes-node ring on this one
+	// machine. Ignored by non-mailbox workloads.
+	RingNode  int
+	RingNodes int
 }
 
 // Workload selects the process set of the Section 5.2 scheduler system.
@@ -159,9 +168,59 @@ const (
 	WorkloadCounters Workload = iota
 	// WorkloadTokenRing runs Dijkstra's K-state token ring as the
 	// worker processes — the paper's composition argument (a
-	// self-stabilizing application above the self-stabilizing OS).
+	// self-stabilizing application above the self-stabilizing OS) —
+	// with members reading each other's data segments directly.
 	WorkloadTokenRing
+	// WorkloadMailboxKState runs the K-state ring in mailbox form:
+	// nodes share only the dedicated mailbox RAM region, which is what
+	// makes the ring distributable across a cluster (guest.RingVariant
+	// VariantKState).
+	WorkloadMailboxKState
+	// WorkloadMailboxDijkstra3 runs Dijkstra's bidirectional 3-state
+	// ring through the mailbox.
+	WorkloadMailboxDijkstra3
+	// WorkloadMailboxGhosh4 runs Ghosh's 4-state chain through the
+	// mailbox.
+	WorkloadMailboxGhosh4
 )
+
+func (w Workload) String() string {
+	switch w {
+	case WorkloadCounters:
+		return "counters"
+	case WorkloadTokenRing:
+		return "ring"
+	}
+	if v, ok := w.MailboxVariant(); ok {
+		return "mbox-" + v.String()
+	}
+	return fmt.Sprintf("workload(%d)", uint8(w))
+}
+
+// MailboxVariant maps a mailbox workload to its guest ring variant.
+func (w Workload) MailboxVariant() (guest.RingVariant, bool) {
+	switch w {
+	case WorkloadMailboxKState:
+		return guest.VariantKState, true
+	case WorkloadMailboxDijkstra3:
+		return guest.VariantDijkstra3, true
+	case WorkloadMailboxGhosh4:
+		return guest.VariantGhosh4, true
+	}
+	return 0, false
+}
+
+// MailboxWorkload maps a guest ring variant to its workload.
+func MailboxWorkload(v guest.RingVariant) Workload {
+	switch v {
+	case guest.VariantDijkstra3:
+		return WorkloadMailboxDijkstra3
+	case guest.VariantGhosh4:
+		return WorkloadMailboxGhosh4
+	default:
+		return WorkloadMailboxKState
+	}
+}
 
 // Default timing parameters.
 const (

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"ssos/internal/guest"
+	"ssos/internal/model"
+)
+
+// Mailbox-workload observation: every predicate here reads the machine
+// through the abstraction function α the refinement tests use — each
+// raw mailbox word is projected onto its owner's value domain by
+// model.Protocol.Norm, exactly the projection the guest node applies in
+// assembly before acting on the word. Arbitrary RAM corruption can park
+// any bytes in a slot; α maps them to the value the protocol will
+// behave as if it read.
+
+// MailboxProtocol returns the abstract protocol of the configured
+// mailbox workload (ok=false for other workloads).
+func (s *System) MailboxProtocol() (model.Protocol, bool) {
+	return MailboxProtocolFor(s.Cfg.Workload)
+}
+
+// MailboxProtocolFor maps a mailbox workload to its abstract protocol.
+func MailboxProtocolFor(w Workload) (model.Protocol, bool) {
+	v, ok := w.MailboxVariant()
+	if !ok {
+		return model.Protocol{}, false
+	}
+	switch v {
+	case guest.VariantDijkstra3:
+		return model.Dijkstra3Protocol(), true
+	case guest.VariantGhosh4:
+		return model.Ghosh4Protocol(), true
+	default:
+		return model.KStateProtocol(guest.MailboxK), true
+	}
+}
+
+// MailboxNodes returns the configured ring size: RingNodes for a
+// one-node-per-replica build, guest.MailboxNodes for the single-machine
+// ring.
+func (s *System) MailboxNodes() int {
+	if s.Cfg.RingNodes != 0 {
+		return s.Cfg.RingNodes
+	}
+	return guest.MailboxNodes
+}
+
+// MailboxSlot returns the raw word in ring slot i of this machine's
+// mailbox region.
+func (s *System) MailboxSlot(i int) uint16 {
+	return s.M.Bus.LoadWord(guest.MailboxAddr(i))
+}
+
+// MailboxRing returns α of the machine's mailbox region: every slot
+// word projected onto its owner's domain.
+func (s *System) MailboxRing() model.RingState {
+	p, ok := s.MailboxProtocol()
+	if !ok {
+		return model.RingState{}
+	}
+	n := s.MailboxNodes()
+	var x model.RingState
+	for i := 0; i < n; i++ {
+		x[i] = p.Norm(i, n, s.MailboxSlot(i))
+	}
+	return x
+}
+
+// MailboxPrivileges returns the privileges held in the current abstract
+// configuration, one entry per held guard. Legal configurations have
+// exactly one. On a one-node-per-replica machine this evaluates the
+// local copy of the ring; the cluster assembles the authoritative
+// configuration from the slot owners.
+func (s *System) MailboxPrivileges() []int {
+	p, ok := s.MailboxProtocol()
+	if !ok {
+		return nil
+	}
+	return p.Privileges(s.MailboxRing(), s.MailboxNodes())
+}
+
+// MailboxConverged runs the system for up to horizon steps (sampling
+// every sampleEvery steps) and reports whether the mailbox ring held
+// the exactly-one-privilege invariant at `window` consecutive samples,
+// returning the step at which the sustained window began — the
+// mailbox twin of RingConverged.
+func (s *System) MailboxConverged(horizon, sampleEvery, window int) (uint64, bool) {
+	if sampleEvery <= 0 {
+		sampleEvery = 500
+	}
+	good := 0
+	var since uint64
+	for ran := 0; ran < horizon; ran += sampleEvery {
+		s.Run(sampleEvery)
+		if len(s.MailboxPrivileges()) == 1 {
+			if good == 0 {
+				since = s.Steps()
+			}
+			good++
+			if good >= window {
+				return since, true
+			}
+		} else {
+			good = 0
+		}
+	}
+	return 0, false
+}

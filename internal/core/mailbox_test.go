@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ssos/internal/fault"
+	"ssos/internal/guest"
+	"ssos/internal/mem"
+)
+
+func mailboxWorkloads() []Workload {
+	return []Workload{WorkloadMailboxKState, WorkloadMailboxDijkstra3, WorkloadMailboxGhosh4}
+}
+
+func newMailbox(t *testing.T, w Workload) *System {
+	t.Helper()
+	return MustNew(Config{Approach: ApproachScheduler, Workload: w})
+}
+
+// mailboxRegion is the shared slot region of the single-machine ring.
+func mailboxRegion() mem.Region {
+	return mem.Region{
+		Name:  "mailbox",
+		Start: guest.MailboxAddr(0),
+		Size:  uint32(2 * guest.MailboxNodes),
+	}
+}
+
+func TestMailboxTokenCirculates(t *testing.T) {
+	for _, w := range mailboxWorkloads() {
+		w := w
+		t.Run(fmt.Sprint(w), func(t *testing.T) {
+			s := newMailbox(t, w)
+			since, ok := s.MailboxConverged(3000000, 500, 100)
+			if !ok {
+				t.Fatalf("%v never converged; privileges=%v ring=%v",
+					w, s.MailboxPrivileges(), s.MailboxRing())
+			}
+			t.Logf("converged at step %d", since)
+			before := make([]uint64, guest.MailboxNodes)
+			for i := range before {
+				before[i] = s.ProcBeats[i].Total()
+			}
+			// The token must actually circulate: while staying legal,
+			// the privilege visits every node.
+			holders := map[int]bool{}
+			for k := 0; k < 1000; k++ {
+				s.Run(500)
+				p := s.MailboxPrivileges()
+				if len(p) != 1 {
+					t.Fatalf("legality lost after convergence: privileges=%v ring=%v", p, s.MailboxRing())
+				}
+				holders[p[0]] = true
+			}
+			if len(holders) != guest.MailboxNodes {
+				t.Fatalf("token froze: privilege only visited %v", holders)
+			}
+			for i := 0; i < guest.MailboxNodes; i++ {
+				if s.ProcBeats[i].Total() <= before[i] {
+					t.Fatalf("node %d stopped moving", i)
+				}
+			}
+		})
+	}
+}
+
+func TestMailboxStabilizesFromArbitraryState(t *testing.T) {
+	// The layered claim on the mailbox substrate: arbitrary slot words
+	// AND arbitrary parked register words converge back to a single
+	// circulating privilege.
+	for _, w := range mailboxWorkloads() {
+		w := w
+		t.Run(fmt.Sprint(w), func(t *testing.T) {
+			s := newMailbox(t, w)
+			s.Run(200000)
+			inj := fault.NewInjector(s.M, 7)
+			inj.RandomizeRegion(mailboxRegion())
+			for i := 0; i < guest.MailboxNodes; i++ {
+				inj.RandomizeRegion(mem.Region{Name: "regs", Start: guest.MailboxRegLAddr(i), Size: 4})
+			}
+			if _, ok := s.MailboxConverged(3000000, 500, 100); !ok {
+				t.Fatalf("%v did not re-converge; privileges=%v ring=%v",
+					w, s.MailboxPrivileges(), s.MailboxRing())
+			}
+		})
+	}
+}
+
+func TestMailboxSurvivesSchedulerFaults(t *testing.T) {
+	// Joint arbitrary state: corrupt the OS layer's process table and
+	// the application layer's slots and registers in the same blow; the
+	// scheduler stabilizes first, then the ring above it.
+	for _, w := range mailboxWorkloads() {
+		w := w
+		t.Run(fmt.Sprint(w), func(t *testing.T) {
+			s := newMailbox(t, w)
+			s.Run(200000)
+			inj := fault.NewInjector(s.M, 11)
+			inj.RandomizeRegion(mem.Region{
+				Name:  "table",
+				Start: uint32(guest.SchedSeg) << 4,
+				Size:  guest.ProcessTableOff + guest.NumProcs*guest.ProcessEntrySize,
+			})
+			inj.RandomizeRegion(mailboxRegion())
+			inj.BlastCPU()
+			if _, ok := s.MailboxConverged(4000000, 500, 100); !ok {
+				t.Fatalf("%v composition failed; privileges=%v ring=%v",
+					w, s.MailboxPrivileges(), s.MailboxRing())
+			}
+		})
+	}
+}
+
+func TestMailboxNodeSystemRuns(t *testing.T) {
+	// One-node-per-replica build: slot 0 runs a single ring node whose
+	// neighbours never move (no relay here) — the node must keep
+	// beating regardless, and the worker slots stay the standard set.
+	for _, w := range mailboxWorkloads() {
+		for node := 0; node < 3; node++ {
+			s := MustNew(Config{
+				Approach: ApproachScheduler, Workload: w,
+				RingNode: node, RingNodes: 3,
+			})
+			s.Run(600000)
+			for i := 0; i < guest.NumProcs; i++ {
+				if s.ProcBeats[i].Total() == 0 {
+					t.Fatalf("%v node %d: process %d never beat", w, node, i)
+				}
+			}
+			if got := s.MailboxNodes(); got != 3 {
+				t.Fatalf("MailboxNodes = %d, want 3", got)
+			}
+		}
+	}
+}
+
+func TestMailboxProtectIncompatible(t *testing.T) {
+	_, err := New(Config{Approach: ApproachScheduler, Workload: WorkloadMailboxKState, ProtectMemory: true})
+	if err == nil {
+		t.Fatal("mailbox workload with ProtectMemory built without error")
+	}
+}

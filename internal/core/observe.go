@@ -1,6 +1,7 @@
 package core
 
 import (
+	"ssos/internal/guest"
 	"ssos/internal/obs"
 )
 
@@ -32,6 +33,9 @@ func (s *System) Instrument(sink obs.Probe) {
 		if s.Repairs != nil {
 			s.Repairs.OnWrite = nil
 		}
+		for _, c := range s.ProcBeats {
+			c.OnWrite = nil
+		}
 		return
 	}
 	p := &sysProbe{sys: s, sink: sink}
@@ -52,6 +56,20 @@ func (s *System) Instrument(sink obs.Probe) {
 	}
 	if s.Repairs != nil {
 		s.Repairs.OnWrite = p.onRepair
+	}
+	if _, ok := s.Cfg.Workload.MailboxVariant(); ok && len(s.ProcBeats) > 0 {
+		// Mailbox ring workloads: legality is a state predicate (exactly
+		// one privilege under α), sampled at every node beat so token
+		// recovery appears in the event stream like heartbeat legality
+		// does for the kernel approaches.
+		p.ring = &obs.PredicateTracker{Confirm: ObsConfirm, Sink: p}
+		nodes := 1 // one-node-per-replica build: slot 0 is the node
+		if s.Cfg.RingNodes == 0 {
+			nodes = guest.MailboxNodes
+		}
+		for i := 0; i < nodes && i < len(s.ProcBeats); i++ {
+			s.ProcBeats[i].OnWrite = p.onRingBeat
+		}
 	}
 }
 
@@ -74,6 +92,7 @@ type sysProbe struct {
 	sys   *System
 	sink  obs.Probe
 	legal *obs.LegalityTracker
+	ring  *obs.PredicateTracker
 	// pending is set between a reinstall entering its handler and the
 	// guest's next observable output.
 	pending bool
@@ -148,6 +167,9 @@ func (p *sysProbe) Emit(e obs.Event) {
 		if p.legal != nil {
 			p.legal.OnFault(e.Step)
 		}
+		if p.ring != nil {
+			p.ring.OnFault(e.Step)
+		}
 	case obs.TypeLegalityRegained:
 		// The episode this confirmation closes is over; later events
 		// are outside any episode until the next injection.
@@ -163,6 +185,10 @@ func (p *sysProbe) onHeartbeat(step uint64, v uint16) {
 	if p.legal != nil {
 		p.legal.OnBeat(step, v)
 	}
+}
+
+func (p *sysProbe) onRingBeat(step uint64, v uint16) {
+	p.ring.OnSample(step, len(p.sys.MailboxPrivileges()) == 1)
 }
 
 func (p *sysProbe) onRepair(step uint64, v uint16) {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"ssos/internal/dev"
 	"ssos/internal/guest"
 	"ssos/internal/machine"
@@ -24,6 +26,23 @@ func newSchedulerSystem(cfg Config) (*System, error) {
 	procs := buildCache.procs
 	if cfg.Workload == WorkloadTokenRing {
 		procs = buildCache.ringProcs
+	}
+	if v, ok := cfg.Workload.MailboxVariant(); ok {
+		if cfg.ProtectMemory {
+			// The protection extension confines each process's stores to
+			// its own 4 KiB window; mailbox nodes write a shared region
+			// outside every window by design.
+			return nil, fmt.Errorf("core: mailbox workload %v is incompatible with ProtectMemory", v)
+		}
+		if cfg.RingNodes != 0 {
+			set, err := mailboxNodeSet(v, cfg.RingNode, cfg.RingNodes)
+			if err != nil {
+				return nil, err
+			}
+			procs = set
+		} else {
+			procs = buildCache.mboxProcs[v]
+		}
 	}
 
 	roms := []romSpec{

@@ -311,6 +311,27 @@ func TestE13SilentFaultsNeedNonMaskableTrigger(t *testing.T) {
 	}
 }
 
+func TestE15LayeredRingsConverge(t *testing.T) {
+	tab, fig := E15LayeredRings(Options{Quick: true, Seed: 7, Trials: 2})
+	// 3 variants x 3 layers x 2 deployments.
+	if len(tab.Rows) != 18 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if got := cellPct(t, row[4]); got != 100 {
+			t.Errorf("%s/%s/%s: converged %v%%, want 100%%", row[0], row[1], row[2], got)
+		}
+	}
+	if fig.ID != "F8" || len(fig.Lines) != 6 {
+		t.Fatalf("figure: %+v", fig)
+	}
+	for _, l := range fig.Lines {
+		if len(l.X) != 3 {
+			t.Fatalf("line %s has %d points", l.Name, len(l.X))
+		}
+	}
+}
+
 func TestE14VotingScalesAvailability(t *testing.T) {
 	tab, fig, figLat := E14ClusterAvailability(quick)
 	if len(tab.Rows) != 5 {

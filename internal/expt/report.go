@@ -16,8 +16,9 @@
 // checkpoint/rollback comparator (E9), the token-ring composition
 // (E10), the memory-protection ablation (E11), the adaptive-watchdog
 // comparator (E12), the silent wake-path faults of the interrupt-driven
-// guest (E13), and the replicated-cluster availability scaling of
-// internal/cluster (E14).
+// guest (E13), the replicated-cluster availability scaling of
+// internal/cluster (E14), and the layered mailbox token rings —
+// single-machine and one node per replica — of E15.
 package expt
 
 import (
@@ -376,7 +377,8 @@ func All(o Options) *Report {
 	t12 := E12AdaptiveWatchdog(o)
 	t13 := E13TickfulSilentFaults(o)
 	t14, f7, f7b := E14ClusterAvailability(o)
-	r.Tables = append(r.Tables, t1, t2, t3, t4, t5, t6, t7, t8, t9, t10, t11, t12, t13, t14)
-	r.Series = append(r.Series, f1, f2, f3, E6FairnessFigure(o), f5, f6, f7, f7b)
+	t15, f8 := E15LayeredRings(o)
+	r.Tables = append(r.Tables, t1, t2, t3, t4, t5, t6, t7, t8, t9, t10, t11, t12, t13, t14, t15)
+	r.Series = append(r.Series, f1, f2, f3, E6FairnessFigure(o), f5, f6, f7, f7b, f8)
 	return r
 }

@@ -218,5 +218,29 @@ func LintImages() ([]imglint.Image, error) {
 		specs = append(specs, procSpec(fmt.Sprintf("ring-%d", i), ring, i))
 	}
 
+	// The mailbox token-ring workloads: the single-machine sets (one
+	// image per scheduler slot) and, for the cluster's one-node-per-
+	// replica deployments, the node image of every (variant, ring size,
+	// node) the fleet can build — the worker and refresher slots of
+	// those sets are byte-identical to proc-1..proc-3 above.
+	for _, v := range RingVariants() {
+		set, err := BuildMailboxProcesses(v)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < NumProcs; i++ {
+			specs = append(specs, procSpec(fmt.Sprintf("mbox-%v-%d", v, i), set, i))
+		}
+		for n := 2; n <= MaxMailboxNodes; n++ {
+			for node := 0; node < n; node++ {
+				nset, err := BuildNodeProcesses(v, node, n)
+				if err != nil {
+					return nil, err
+				}
+				specs = append(specs, procSpec(fmt.Sprintf("mbox-%v-n%d-node%d", v, n, node), nset, 0))
+			}
+		}
+	}
+
 	return specs, nil
 }

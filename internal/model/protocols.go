@@ -1,0 +1,409 @@
+package model
+
+// The mailbox token-ring protocols: Dijkstra's K-state and 3-state
+// rings and Ghosh's 4-state chain, modelled at the same abstraction
+// level as internal/guest runs them. Each guest node owns one word
+// ("mailbox slot") in a shared RAM region; a node reads a neighbour's
+// slot, projects it onto the owner's value domain, parks the result in
+// a register word of its own data segment, and finally performs the
+// guarded test-and-write on its own slot. The models below cover both
+// granularities: the composite-atomicity system (guard and move in one
+// step, the classic proofs' setting) and the read/write-atomicity
+// "delay" system whose states carry the parked register words and a
+// per-node program counter — the granularity the scheduler actually
+// provides, since a node can be preempted between its loads and its
+// write.
+
+// Protocol describes one token-passing protocol per node role. All
+// functions are total over arbitrary inputs: Norm projects any 16-bit
+// word a node may read from slot i onto slot i's value domain (the
+// guest applies the identical projection in assembly), and Guards
+// consumes canonical values only.
+type Protocol struct {
+	// Name identifies the protocol ("kstate", "dijkstra3", "ghosh4").
+	Name string
+	// K bounds the per-slot value domain: canonical values are a subset
+	// of 0..K-1.
+	K uint8
+	// UsesLeft and UsesRight report whether node i of n reads that
+	// neighbour's slot (left is (i-1+n)%n, right is (i+1)%n; chain
+	// protocols simply never use the wrapped side).
+	UsesLeft  func(i, n int) bool
+	UsesRight func(i, n int) bool
+	// Norm projects an arbitrary word read from node i's slot onto node
+	// i's value domain. It is idempotent and acts as the identity on
+	// canonical values.
+	Norm func(i, n int, v uint16) uint8
+	// Guards returns the new slot values of node i's enabled guarded
+	// moves, one entry per held privilege (empty when none). Privilege
+	// counting is per guard, not per node: a Ghosh interior machine
+	// watching both neighbours can hold two privileges at once. Every
+	// protocol here writes the same value whichever guard fired, so a
+	// node's program tests its guards in order and performs one store.
+	// Unused neighbour sides receive zero.
+	Guards func(i, n int, self, left, right uint8) []uint8
+}
+
+// KStateProtocol is Dijkstra's K-state unidirectional ring in mailbox
+// form: every node reads only its left (predecessor) slot; the root
+// (node 0) increments modulo k when its value matches its
+// predecessor's, every other node copies a differing predecessor.
+// K >= 2n-1 keeps the ring self-stabilizing even under read/write
+// atomicity (the guest uses k=16 for up to 8 nodes).
+func KStateProtocol(k uint8) Protocol {
+	return Protocol{
+		Name:      "kstate",
+		K:         k,
+		UsesLeft:  func(i, n int) bool { return true },
+		UsesRight: func(i, n int) bool { return false },
+		Norm:      func(i, n int, v uint16) uint8 { return uint8(v % uint16(k)) },
+		Guards: func(i, n int, self, left, right uint8) []uint8 {
+			if i == 0 {
+				if self == left {
+					return []uint8{(self + 1) % k}
+				}
+				return nil
+			}
+			if self != left {
+				return []uint8{left}
+			}
+			return nil
+		},
+	}
+}
+
+// mod3 projects a word onto 0..2 without division, exactly as the
+// guest's instruction sequence does: mask to 0..3, then map 3 to 0.
+func mod3(v uint16) uint8 {
+	m := uint8(v & 3)
+	if m == 3 {
+		return 0
+	}
+	return m
+}
+
+// Dijkstra3Protocol is Dijkstra's 3-state ring: values modulo 3,
+// bidirectional reads. The bottom (node 0) moves by +2 when its
+// successor is one ahead; the top (node n-1) moves to left+1 when its
+// two neighbours agree and it is not already one ahead of them; every
+// other node moves to self+1 when either neighbour is one ahead (one
+// rule, hence one privilege, even when both sides fire). Note the ring
+// topology: the top's right neighbour is the bottom.
+func Dijkstra3Protocol() Protocol {
+	return Protocol{
+		Name:      "dijkstra3",
+		K:         3,
+		UsesLeft:  func(i, n int) bool { return i != 0 },
+		UsesRight: func(i, n int) bool { return true },
+		Norm:      func(i, n int, v uint16) uint8 { return mod3(v) },
+		Guards: func(i, n int, self, left, right uint8) []uint8 {
+			switch i {
+			case 0:
+				if (self+1)%3 == right {
+					return []uint8{(self + 2) % 3}
+				}
+			case n - 1:
+				if left == right && (left+1)%3 != self {
+					return []uint8{(left + 1) % 3}
+				}
+			default:
+				if (self+1)%3 == left || (self+1)%3 == right {
+					return []uint8{(self + 1) % 3}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Ghosh4Protocol is Ghosh's 4-state chain: values modulo 4 with
+// parity-anchored end domains — the bottom (node 0) holds odd values
+// {1,3}, the top (node n-1) even values {0,2}, interior nodes any of
+// 0..3. A node holds a privilege per neighbour that is one ahead of it
+// (the ends each watch their single neighbour; interior nodes watch
+// both and can hold two privileges). The ends move by +2, preserving
+// their anchored parity; an interior node copies the neighbour that is
+// one ahead (self+1 — the same value whichever side fired). The
+// anchoring is what rules out the all-even deadlock configuration.
+// There is no wraparound: the chain's ends never read across.
+func Ghosh4Protocol() Protocol {
+	return Protocol{
+		Name:      "ghosh4",
+		K:         4,
+		UsesLeft:  func(i, n int) bool { return i != 0 },
+		UsesRight: func(i, n int) bool { return i != n-1 },
+		Norm: func(i, n int, v uint16) uint8 {
+			switch i {
+			case 0:
+				return uint8(v&2) | 1
+			case n - 1:
+				return uint8(v & 2)
+			default:
+				return uint8(v & 3)
+			}
+		},
+		Guards: func(i, n int, self, left, right uint8) []uint8 {
+			var out []uint8
+			switch i {
+			case 0:
+				if right == (self+1)%4 {
+					out = append(out, (self+2)%4)
+				}
+			case n - 1:
+				if left == (self+1)%4 {
+					out = append(out, (self+2)%4)
+				}
+			default:
+				if left == (self+1)%4 {
+					out = append(out, (self+1)%4)
+				}
+				if right == (self+1)%4 {
+					out = append(out, (self+1)%4)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// Domain returns node i's canonical value domain in ascending order.
+func (p Protocol) Domain(i, n int) []uint8 {
+	var out []uint8
+	for v := 0; v < int(p.K); v++ {
+		if p.Norm(i, n, uint16(v)) == uint8(v) {
+			out = append(out, uint8(v))
+		}
+	}
+	return out
+}
+
+// neighbours returns the left and right indices of node i on the ring.
+func neighbours(i, n int) (l, r int) { return (i + n - 1) % n, (i + 1) % n }
+
+// guardsAt evaluates node i's guards in configuration x.
+func (p Protocol) guardsAt(x RingState, i, n int) []uint8 {
+	l, r := neighbours(i, n)
+	var left, right uint8
+	if p.UsesLeft(i, n) {
+		left = x[l]
+	}
+	if p.UsesRight(i, n) {
+		right = x[r]
+	}
+	return p.Guards(i, n, x[i], left, right)
+}
+
+// Privileges returns the privileged nodes of configuration x (entries
+// 0..n-1 used; values must be canonical), one entry per held guard —
+// a node watching both neighbours may appear twice.
+func (p Protocol) Privileges(x RingState, n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		for range p.guardsAt(x, i, n) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// System builds the protocol's n-node composite-atomicity system under
+// the adversarial central daemon: any held privilege may perform its
+// guarded move in one atomic step. Legal states have exactly one
+// privilege. Next is total — a deadlocked configuration self-loops, so
+// closure/convergence checking flags it as a reachable illegal cycle
+// rather than silently skipping it.
+func (p Protocol) System(n int) *System[RingState] {
+	if n < 2 || n > MaxRingMembers {
+		panic("model: protocol ring size out of range")
+	}
+	var states []RingState
+	var enum func(i int, cur RingState)
+	enum = func(i int, cur RingState) {
+		if i == n {
+			states = append(states, cur)
+			return
+		}
+		for _, v := range p.Domain(i, n) {
+			cur[i] = v
+			enum(i+1, cur)
+		}
+	}
+	enum(0, RingState{})
+	next := func(s RingState) []RingState {
+		var out []RingState
+		for i := 0; i < n; i++ {
+			for _, v := range p.guardsAt(s, i, n) {
+				ns := s
+				ns[i] = v
+				out = append(out, ns)
+			}
+		}
+		if len(out) == 0 {
+			out = append(out, s) // deadlock: visible as an illegal cycle
+		}
+		return out
+	}
+	legal := func(s RingState) bool { return len(p.Privileges(s, n)) == 1 }
+	return &System[RingState]{States: states, Next: next, Legal: legal}
+}
+
+// Dijkstra3System is the n-node 3-state ring under composite atomicity.
+func Dijkstra3System(n int) *System[RingState] { return Dijkstra3Protocol().System(n) }
+
+// Ghosh4System is the n-node 4-state chain under composite atomicity.
+func Ghosh4System(n int) *System[RingState] { return Ghosh4Protocol().System(n) }
+
+// MailboxState is a protocol configuration under read/write atomicity,
+// as the scheduler executes it: the mailbox slots X, each node's parked
+// register reads of its left and right neighbours (only the sides the
+// node uses are meaningful), and a per-node program counter over the
+// node's action sequence (loads in left-right order, then the guarded
+// write).
+type MailboxState struct {
+	X    RingState
+	RegL RingState
+	RegR RingState
+	PC   RingState
+}
+
+// Phases returns the length of node i's atomic-action sequence.
+func (p Protocol) Phases(i, n int) int {
+	ph := 1 // the guarded write
+	if p.UsesLeft(i, n) {
+		ph++
+	}
+	if p.UsesRight(i, n) {
+		ph++
+	}
+	return ph
+}
+
+// DelayStep performs node i's next atomic action: a normalized
+// neighbour load into the corresponding register, or the guarded
+// test-and-write using the (possibly stale) registers.
+func (p Protocol) DelayStep(n int, s MailboxState, i int) MailboxState {
+	ns := s
+	l, r := neighbours(i, n)
+	phase := 0
+	if p.UsesLeft(i, n) {
+		if int(s.PC[i]) == phase {
+			ns.RegL[i] = p.Norm(l, n, uint16(s.X[l]))
+			ns.PC[i]++
+			return ns
+		}
+		phase++
+	}
+	if p.UsesRight(i, n) {
+		if int(s.PC[i]) == phase {
+			ns.RegR[i] = p.Norm(r, n, uint16(s.X[r]))
+			ns.PC[i]++
+			return ns
+		}
+	}
+	if g := p.Guards(i, n, s.X[i], s.RegL[i], s.RegR[i]); len(g) > 0 {
+		ns.X[i] = g[0]
+	}
+	ns.PC[i] = 0
+	return ns
+}
+
+// DelaySystem builds the protocol's n-node read/write-atomicity system
+// under the adversarial daemon: any node may take its next atomic
+// action. The syntactic legality candidate ("one privilege in X") is
+// generally NOT closed here — stale registers can re-create privileges
+// — so callers refine it with GreatestClosedSubset, exactly as for
+// RWRingSystem.
+func (p Protocol) DelaySystem(n int) *System[MailboxState] {
+	states := p.delayStates(n)
+	next := func(s MailboxState) []MailboxState {
+		out := make([]MailboxState, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, p.DelayStep(n, s, i))
+		}
+		return out
+	}
+	legal := func(s MailboxState) bool { return len(p.Privileges(s.X, n)) == 1 }
+	return &System[MailboxState]{States: states, Next: next, Legal: legal}
+}
+
+// DelayLabeledNext returns the actor-labelled transition function of
+// the delay system, for fairness analysis.
+func (p Protocol) DelayLabeledNext(n int) func(MailboxState) []Labeled[MailboxState] {
+	return func(s MailboxState) []Labeled[MailboxState] {
+		out := make([]Labeled[MailboxState], 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, Labeled[MailboxState]{To: p.DelayStep(n, s, i), Actor: i})
+		}
+		return out
+	}
+}
+
+// delayStates enumerates the delay system's state space: canonical slot
+// values, registers over the watched neighbour's domain (zero for
+// unused sides), and program counters over each node's action sequence.
+func (p Protocol) delayStates(n int) []MailboxState {
+	var states []MailboxState
+	var enum func(i int, cur MailboxState)
+	enum = func(i int, cur MailboxState) {
+		if i == n {
+			states = append(states, cur)
+			return
+		}
+		l, r := neighbours(i, n)
+		regLs := []uint8{0}
+		if p.UsesLeft(i, n) {
+			regLs = p.Domain(l, n)
+		}
+		regRs := []uint8{0}
+		if p.UsesRight(i, n) {
+			regRs = p.Domain(r, n)
+		}
+		for _, x := range p.Domain(i, n) {
+			cur.X[i] = x
+			for _, rl := range regLs {
+				cur.RegL[i] = rl
+				for _, rr := range regRs {
+					cur.RegR[i] = rr
+					for pc := 0; pc < p.Phases(i, n); pc++ {
+						cur.PC[i] = uint8(pc)
+						enum(i+1, cur)
+					}
+				}
+			}
+		}
+	}
+	enum(0, MailboxState{})
+	return states
+}
+
+// ObsSuccessors returns every abstract state reachable from s by one
+// observable action of one node, ignoring program counters: a
+// normalized neighbour load into the node's register word, or the
+// node's guarded write. The refinement tests use this as the abstract
+// step relation a machine trace must stutter-refine: it is a sound
+// superset of the PC-ful delay relation's observable effects, because
+// each node's observable behaviour is a function of the observable
+// words alone (the guest reloads its registers from RAM immediately
+// before the test-and-write).
+func (p Protocol) ObsSuccessors(n int, s MailboxState) []MailboxState {
+	var out []MailboxState
+	for i := 0; i < n; i++ {
+		l, r := neighbours(i, n)
+		if p.UsesLeft(i, n) {
+			ns := s
+			ns.RegL[i] = p.Norm(l, n, uint16(s.X[l]))
+			out = append(out, ns)
+		}
+		if p.UsesRight(i, n) {
+			ns := s
+			ns.RegR[i] = p.Norm(r, n, uint16(s.X[r]))
+			out = append(out, ns)
+		}
+		for _, v := range p.Guards(i, n, s.X[i], s.RegL[i], s.RegR[i]) {
+			ns := s
+			ns.X[i] = v
+			out = append(out, ns)
+		}
+	}
+	return out
+}

@@ -72,3 +72,53 @@ func (t *LegalityTracker) OnBeat(step uint64, v uint16) {
 		})
 	}
 }
+
+// PredicateTracker is the LegalityTracker's twin for workloads whose
+// legality is a sampled state predicate rather than a heartbeat-stream
+// property — the token-ring workloads' "exactly one privilege". Feed it
+// predicate samples; after a fault, Confirm consecutive true samples
+// emit one TypeLegalityRegained whose Code carries steps-to-legal
+// (first sample of the true run minus the fault step) and Arg the run's
+// first-sample step.
+type PredicateTracker struct {
+	// Confirm is the number of consecutive true samples required.
+	Confirm int
+	// Sink receives the emitted events.
+	Sink Probe
+
+	runStart uint64
+	runLen   int
+	dirty    bool
+	fault    uint64
+}
+
+// OnFault marks the predicate stream dirty at the given step; the
+// current true run is restarted so recovery must be re-confirmed.
+func (t *PredicateTracker) OnFault(step uint64) {
+	t.dirty = true
+	t.fault = step
+	t.runLen = 0
+}
+
+// OnSample feeds one predicate evaluation.
+func (t *PredicateTracker) OnSample(step uint64, legal bool) {
+	if !legal {
+		t.runLen = 0
+		return
+	}
+	if t.runLen == 0 {
+		t.runStart = step
+	}
+	t.runLen++
+	if t.dirty && t.runLen >= t.Confirm && t.Sink != nil {
+		t.dirty = false
+		t.Sink.Emit(Event{
+			Step:    step,
+			Type:    TypeLegalityRegained,
+			Replica: -1,
+			Epoch:   -1,
+			Code:    t.runStart - t.fault,
+			Arg:     t.runStart,
+		})
+	}
+}

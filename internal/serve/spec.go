@@ -66,6 +66,9 @@ var images = []Image{
 	{"adaptive", "related-work comparator: silence-triggered reinstall watchdog", core.Config{Approach: core.ApproachAdaptive}},
 	{"scheduler-ring", "scheduler running Dijkstra's token ring as its process set", core.Config{Approach: core.ApproachScheduler, Workload: core.WorkloadTokenRing}},
 	{"reinstall-tickful", "reinstall approach over the interrupt-driven (hlt + timer ISR) kernel", core.Config{Approach: core.ApproachReinstall, TickfulKernel: true}},
+	{"scheduler-mbox-kstate", "scheduler running the K-state token ring through the shared mailbox region", core.Config{Approach: core.ApproachScheduler, Workload: core.WorkloadMailboxKState}},
+	{"scheduler-mbox-dijkstra3", "scheduler running Dijkstra's 3-state ring through the shared mailbox region", core.Config{Approach: core.ApproachScheduler, Workload: core.WorkloadMailboxDijkstra3}},
+	{"scheduler-mbox-ghosh4", "scheduler running Ghosh's 4-state chain through the shared mailbox region", core.Config{Approach: core.ApproachScheduler, Workload: core.WorkloadMailboxGhosh4}},
 }
 
 // Images returns the named guest images in their fixed catalog order.
@@ -87,7 +90,7 @@ func LookupImage(name string) (Image, bool) {
 // vocabulary as ssos-run's -fault flag (minus "none", which is simply
 // the absence of an injection request in the service world).
 var faultKinds = []string{
-	"bitflip", "os-blast", "cpu-blast", "pc", "all-ram", "table-blast", "proc-code",
+	"bitflip", "os-blast", "cpu-blast", "pc", "all-ram", "table-blast", "proc-code", "mailbox",
 }
 
 // FaultKinds returns the injectable machine fault class names.
@@ -119,6 +122,15 @@ func InjectFault(s *core.System, inj *fault.Injector, kind string) error {
 	case "proc-code":
 		inj.RandomizeRegion(mem.Region{Name: "p0",
 			Start: uint32(guest.ProcCodeSeg(0)) << 4, Size: guest.ProcRegionSize})
+	case "mailbox":
+		// Algorithm-layer fault for the mailbox ring workloads: the
+		// shared slot region and every node's parked register words.
+		inj.RandomizeRegion(mem.Region{Name: "mailbox",
+			Start: guest.MailboxAddr(0), Size: 2 * guest.MaxMailboxNodes})
+		for i := 0; i < guest.MailboxNodes; i++ {
+			inj.RandomizeRegion(mem.Region{Name: "node-regs",
+				Start: guest.MailboxRegLAddr(i), Size: 4})
+		}
 	default:
 		return fmt.Errorf("unknown fault %q", kind)
 	}
