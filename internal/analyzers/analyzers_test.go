@@ -52,11 +52,12 @@ func TestGenbumpFlagsUnbumpedMutation(t *testing.T) {
 	src := `package mem
 
 type Bus struct {
-	data []byte
-	gens [16]uint64
+	data  []byte
+	gens  [16]uint64
+	stamp uint64
 }
 
-func (b *Bus) bump(p int) { b.gens[p]++ }
+func (b *Bus) bump(p int) { b.gens[p]++; b.stamp++ }
 
 func (b *Bus) Good(addr int, v byte) {
 	b.data[addr] = v
@@ -66,6 +67,7 @@ func (b *Bus) Good(addr int, v byte) {
 func (b *Bus) GoodDirect(addr int, v byte) {
 	b.data[addr] = v
 	b.gens[addr>>12]++
+	b.stamp++
 }
 
 func (b *Bus) Bad(addr int, v byte) {
@@ -93,6 +95,67 @@ func (b *Bus) ReadOnly(dst []byte) {
 		}
 		if !found {
 			t.Errorf("no finding mentioning %q in %v", want, msgs)
+		}
+	}
+}
+
+// TestGenbumpStampRule: a direct generation bump that skips the
+// bus-wide write stamp is flagged — the superblock engine's one-compare
+// fast path proves "nothing changed" from the stamp alone, so every
+// gens bump must advance it, directly or via a sibling in the
+// stamp-advancing closure.
+func TestGenbumpStampRule(t *testing.T) {
+	src := `package mem
+
+type Bus struct {
+	data  []byte
+	gens  [16]uint64
+	stamp uint64
+}
+
+func (b *Bus) touch() { b.stamp++ }
+
+func (b *Bus) GoodDirect(addr int, v byte) {
+	b.data[addr] = v
+	b.gens[addr>>12]++
+	b.stamp++
+}
+
+func (b *Bus) GoodViaSibling(addr int, v byte) {
+	b.data[addr] = v
+	b.gens[addr>>12]++
+	b.touch()
+}
+
+func (b *Bus) BadNoStamp(addr int, v byte) {
+	b.data[addr] = v
+	b.gens[addr>>12]++
+}
+
+func (b *Bus) BadLoop() {
+	for i := range b.gens {
+		b.gens[i]++
+	}
+}
+`
+	msgs := runOne(t, analyzers.Genbump, "ssos/testdata/genstamp", src)
+	if len(msgs) != 2 {
+		t.Fatalf("got %d findings, want 2 (BadNoStamp, BadLoop):\n%s", len(msgs), strings.Join(msgs, "\n"))
+	}
+	for _, want := range []string{"Bus.BadNoStamp ", "Bus.BadLoop "} {
+		found := false
+		for _, m := range msgs {
+			if strings.Contains(m, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding mentioning %q in %v", want, msgs)
+		}
+	}
+	for _, m := range msgs {
+		if !strings.Contains(m, "stamp") {
+			t.Errorf("stamp-rule finding does not mention the stamp: %s", m)
 		}
 	}
 }

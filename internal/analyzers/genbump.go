@@ -3,6 +3,7 @@ package analyzers
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 )
 
 // Genbump enforces the decode cache's soundness precondition inside
@@ -12,9 +13,17 @@ import (
 // calling, transitively, a sibling method that does. A mutation path
 // that skips the bump would let machine.Machine replay stale predecoded
 // instructions (see internal/machine/cache.go).
+//
+// The superblock engine adds a second precondition (the stamp rule):
+// every method that bumps a page generation directly must also advance
+// the bus-wide write stamp, directly or via a sibling in the
+// stamp-advancing closure. The fast path in internal/machine/superblock
+// proves "no byte changed anywhere" from an unchanged stamp alone, so a
+// gens bump the stamp misses would let a built block replay over
+// modified code.
 var Genbump = &Analyzer{
 	Name:    "genbump",
-	Doc:     "mem.Bus mutations must bump page generations",
+	Doc:     "mem.Bus mutations must bump page generations and the write stamp",
 	Applies: pathSuffix("internal/mem"),
 	Run:     runGenbump,
 }
@@ -43,8 +52,12 @@ func runGenbump(pkg *Package, report func(token.Pos, string, ...any)) {
 		}
 	}
 
-	// Seed: methods that write the gens counters directly.
+	// Seed: methods that write the gens counters (or the write stamp)
+	// directly. gensAt remembers where each method first touches gens,
+	// for the stamp-rule report.
 	bumps := map[string]bool{}
+	stamps := map[string]bool{}
+	gensAt := map[string]ast.Node{}
 	calls := map[string][]string{}
 	for name, m := range methods {
 		ast.Inspect(m.decl.Body, func(n ast.Node) bool {
@@ -52,11 +65,23 @@ func runGenbump(pkg *Package, report func(token.Pos, string, ...any)) {
 			case *ast.IncDecStmt:
 				if mentionsField(st.X, m.recv, "gens") {
 					bumps[name] = true
+					if gensAt[name] == nil {
+						gensAt[name] = st
+					}
+				}
+				if mentionsField(st.X, m.recv, "stamp") {
+					stamps[name] = true
 				}
 			case *ast.AssignStmt:
 				for _, lhs := range st.Lhs {
 					if mentionsField(lhs, m.recv, "gens") {
 						bumps[name] = true
+						if gensAt[name] == nil {
+							gensAt[name] = st
+						}
+					}
+					if mentionsField(lhs, m.recv, "stamp") {
+						stamps[name] = true
 					}
 				}
 			case *ast.CallExpr:
@@ -72,20 +97,36 @@ func runGenbump(pkg *Package, report func(token.Pos, string, ...any)) {
 		})
 	}
 
-	// Close over receiver calls: calling a bumping method bumps.
-	for changed := true; changed; {
-		changed = false
-		for name := range methods {
-			if bumps[name] {
-				continue
-			}
-			for _, callee := range calls[name] {
-				if bumps[callee] {
-					bumps[name] = true
-					changed = true
-					break
+	// Close over receiver calls: calling a bumping method bumps, and
+	// calling a stamp-advancing method advances the stamp.
+	for _, set := range []map[string]bool{bumps, stamps} {
+		for changed := true; changed; {
+			changed = false
+			for name := range methods {
+				if set[name] {
+					continue
+				}
+				for _, callee := range calls[name] {
+					if set[callee] {
+						set[name] = true
+						changed = true
+						break
+					}
 				}
 			}
+		}
+	}
+
+	// Stamp rule: a direct gens bump must sit inside the stamp closure.
+	// Sorted so finding order never depends on map iteration.
+	gensNames := make([]string, 0, len(gensAt))
+	for name := range gensAt {
+		gensNames = append(gensNames, name)
+	}
+	sort.Strings(gensNames)
+	for _, name := range gensNames {
+		if !stamps[name] {
+			report(gensAt[name].Pos(), "Bus.%s bumps %s.gens without advancing %s.stamp; superblock stamp validation would replay stale blocks", name, methods[name].recv, methods[name].recv)
 		}
 	}
 

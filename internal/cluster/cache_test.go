@@ -7,17 +7,18 @@ import (
 	"ssos/internal/core"
 )
 
-// TestClusterDigestsWithDecodeCacheOnOff runs the same cluster twice —
-// once with the replicas' predecoded instruction caches enabled (the
-// default) and once with them disabled before every epoch — and
-// requires identical voting history: every EpochStat (including the
+// TestClusterDigestsWithDecodeCacheOnOff runs the same cluster three
+// times — with the replicas' full engine stack (predecode cache +
+// superblocks, the default), with superblocks disabled before every
+// epoch, and with the decode cache (and so the whole stack) disabled —
+// and requires identical voting history: every EpochStat (including the
 // winning state digests) and every reconfiguration event. Replica
-// digests summarize full machine state, so this pins the cache's
+// digests summarize full machine state, so this pins the engines'
 // bit-identical-execution guarantee at cluster scale, under the
 // cluster's own strike schedule and per-replica fault injectors.
 func TestClusterDigestsWithDecodeCacheOnOff(t *testing.T) {
 	const epochs = 6
-	run := func(disableCache bool) ([]EpochStat, []Event) {
+	run := func(engine string) ([]EpochStat, []Event) {
 		c := MustNew(Config{
 			Replicas: 3,
 			Approach: core.ApproachReinstall,
@@ -25,11 +26,14 @@ func TestClusterDigestsWithDecodeCacheOnOff(t *testing.T) {
 			Faults:   ModeBitflip,
 		})
 		for e := 0; e < epochs; e++ {
-			if disableCache {
-				// Reinstalled/evicted replicas come back as fresh
-				// machines with the cache re-enabled, so disable again
-				// at every epoch boundary.
-				for _, r := range c.replicas {
+			// Reinstalled/evicted replicas come back as fresh machines
+			// with the full stack re-enabled, so re-apply the engine
+			// configuration at every epoch boundary.
+			for _, r := range c.replicas {
+				switch engine {
+				case "predecode":
+					r.sys.M.SetSuperblocks(false)
+				case "interp":
 					r.sys.M.SetDecodeCache(false)
 				}
 			}
@@ -38,19 +42,21 @@ func TestClusterDigestsWithDecodeCacheOnOff(t *testing.T) {
 		return c.Stats, c.Events
 	}
 
-	statsOn, eventsOn := run(false)
-	statsOff, eventsOff := run(true)
-	if !reflect.DeepEqual(statsOn, statsOff) {
-		t.Fatalf("epoch stats diverged between cache on/off:\n  on: %+v\n off: %+v",
-			statsOn, statsOff)
-	}
-	if !reflect.DeepEqual(eventsOn, eventsOff) {
-		t.Fatalf("reconfiguration events diverged between cache on/off:\n  on: %+v\n off: %+v",
-			eventsOn, eventsOff)
-	}
-	for i, st := range statsOn {
+	statsSB, eventsSB := run("superblock")
+	for i, st := range statsSB {
 		if st.Digest == 0 {
 			t.Fatalf("epoch %d: zero digest (no cluster output?)", i)
+		}
+	}
+	for _, engine := range []string{"predecode", "interp"} {
+		stats, events := run(engine)
+		if !reflect.DeepEqual(statsSB, stats) {
+			t.Fatalf("epoch stats diverged between superblock and %s:\n  sb: %+v\n  %s: %+v",
+				engine, statsSB, engine, stats)
+		}
+		if !reflect.DeepEqual(eventsSB, events) {
+			t.Fatalf("reconfiguration events diverged between superblock and %s:\n  sb: %+v\n  %s: %+v",
+				engine, eventsSB, engine, events)
 		}
 	}
 }

@@ -156,6 +156,141 @@ func TestDecodeCacheDifferential(t *testing.T) {
 	}
 }
 
+// diffTriple is one lockstep triple of systems: full engine stack
+// (decode cache + superblocks), predecode only, reference interpreter.
+type diffTriple struct {
+	sys [3]*System
+	col [3]*obs.Collector
+}
+
+var tripleLabels = [3]string{"superblock", "predecode", "interp"}
+
+func newDiffTriple(t *testing.T, ap Approach) *diffTriple {
+	t.Helper()
+	p := &diffTriple{}
+	for i := range p.sys {
+		p.sys[i] = MustNew(Config{Approach: ap})
+		p.col[i] = obs.NewCollector()
+		p.sys[i].Instrument(p.col[i])
+	}
+	p.sys[1].M.SetSuperblocks(false)
+	p.sys[2].M.SetDecodeCache(false)
+	return p
+}
+
+func (p *diffTriple) each(f func(s *System)) {
+	for _, s := range p.sys {
+		f(s)
+	}
+}
+
+// compare asserts that every observable of the triple is identical.
+// Stats compare through Arch(): block counters are engine telemetry.
+func (p *diffTriple) compare(t *testing.T, tag string) {
+	t.Helper()
+	ref := p.sys[2]
+	for i := 0; i < 2; i++ {
+		lbl := tripleLabels[i]
+		if p.sys[i].M.CPU != ref.M.CPU {
+			t.Fatalf("%s: %s CPU diverged:\n%s: %+v\ninterp: %+v",
+				tag, lbl, lbl, p.sys[i].M.CPU, ref.M.CPU)
+		}
+		if p.sys[i].M.Stats.Arch() != ref.M.Stats.Arch() {
+			t.Fatalf("%s: %s stats diverged:\n%s: %v\ninterp: %v",
+				tag, lbl, lbl, p.sys[i].M.Stats, ref.M.Stats)
+		}
+		if !bytes.Equal(p.sys[i].M.Bus.Snapshot(), ref.M.Bus.Snapshot()) {
+			t.Fatalf("%s: %s memory image diverged", tag, lbl)
+		}
+		if !reflect.DeepEqual(p.col[i].Events(), p.col[2].Events()) {
+			t.Fatalf("%s: %s observability event stream diverged (%d vs %d events)",
+				tag, lbl, len(p.col[i].Events()), len(p.col[2].Events()))
+		}
+		if ref.Heartbeat != nil {
+			if !reflect.DeepEqual(p.sys[i].Heartbeat.Writes(), ref.Heartbeat.Writes()) {
+				t.Fatalf("%s: %s heartbeat stream diverged", tag, lbl)
+			}
+		}
+	}
+}
+
+// TestSuperblockDifferentialRunBatches drives the three engines through
+// real guest kernels via Run in uneven batches — the only path that
+// exercises the batched loop, turbo lane and block chaining — with
+// identical faults injected at batch boundaries, from both the clean
+// boot state and fully randomized RAM + CPU configurations. The
+// two-way Step-driven suite above remains as-is; this one covers what
+// Step cannot reach.
+func TestSuperblockDifferentialRunBatches(t *testing.T) {
+	batches, trials := 600, 4
+	if testing.Short() {
+		batches, trials = 150, 2
+	}
+	for _, ap := range []Approach{ApproachBaseline, ApproachReinstall, ApproachMonitor} {
+		for trial := 0; trial < trials; trial++ {
+			p := newDiffTriple(t, ap)
+			rng := rand.New(rand.NewSource(int64(31000 + 100*int(ap) + trial)))
+
+			if trial%2 == 1 {
+				// Any-state start, identical across the triple.
+				for a := 0; a < mem.AddrSpace; a++ {
+					v := byte(rng.Intn(256))
+					p.each(func(s *System) { s.M.Bus.PokeRAM(uint32(a), v) })
+				}
+				cpu := p.sys[0].M.CPU
+				for i := range cpu.R {
+					cpu.R[i] = uint16(rng.Intn(1 << 16))
+				}
+				for i := range cpu.S {
+					cpu.S[i] = uint16(rng.Intn(1 << 16))
+				}
+				cpu.IP = uint16(rng.Intn(1 << 16))
+				cpu.Flags = isa.Flags(rng.Intn(1 << 16))
+				cpu.NMICounter = uint16(rng.Intn(1 << 16))
+				p.each(func(s *System) { s.M.CPU = cpu })
+			}
+
+			for b := 0; b < batches; b++ {
+				if rng.Intn(5) == 0 {
+					switch rng.Intn(7) {
+					case 0:
+						a := uint32(rng.Intn(mem.AddrSpace))
+						v := p.sys[0].M.Bus.Peek(a) ^ (1 << uint(rng.Intn(8)))
+						p.each(func(s *System) { s.M.Bus.PokeRAM(a, v) })
+					case 1: // land on the live code stream
+						a := (uint32(p.sys[0].M.CPU.S[isa.CS])<<4 +
+							uint32(p.sys[0].M.CPU.IP) + uint32(rng.Intn(16))) & mem.AddrMask
+						v := byte(rng.Intn(256))
+						p.each(func(s *System) { s.M.Bus.PokeRAM(a, v) })
+					case 2:
+						v := uint16(rng.Intn(1 << 16))
+						p.each(func(s *System) { s.M.CPU.IP = v })
+					case 3:
+						r := isa.SReg(rng.Intn(int(isa.NumSRegs)))
+						v := uint16(rng.Intn(1 << 16))
+						p.each(func(s *System) { s.M.CPU.S[r] = v })
+					case 4:
+						v := isa.Flags(rng.Intn(1 << 16))
+						p.each(func(s *System) { s.M.CPU.Flags = v })
+					case 5:
+						p.each(func(s *System) { s.M.RaiseNMI() })
+					case 6:
+						v := rng.Intn(2) == 0
+						p.each(func(s *System) { s.M.CPU.Halted = v })
+					}
+				}
+				n := rng.Intn(197) + 1
+				p.each(func(s *System) { s.M.Run(n) })
+				// Cheap per-batch agreement; full compare at trial end.
+				if p.sys[0].M.CPU != p.sys[2].M.CPU || p.sys[1].M.CPU != p.sys[2].M.CPU {
+					p.compare(t, "batch")
+				}
+			}
+			p.compare(t, ap.String()+"/final")
+		}
+	}
+}
+
 // TestDecodeCacheDifferentialSelfModifying pins the hardest staleness
 // case deliberately rather than probabilistically: the guest's own
 // stores land on top of upcoming instructions (a store to cs:ip+k),

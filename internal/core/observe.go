@@ -207,6 +207,12 @@ func (s *System) ExportMetrics(m *obs.Metrics) {
 	m.Add("machine.steps", s.M.Stats.Steps)
 	m.Add("machine.instrs", s.M.Stats.Instrs)
 	m.Add("machine.halt_ticks", s.M.Stats.HaltTicks)
+	// Superblock-engine telemetry: how much of the run retired through
+	// blocks and how often validation bailed to the interpreter. All
+	// zero when the engine is disabled.
+	m.Add("machine.blocks", s.M.Stats.Blocks)
+	m.Add("machine.block_instrs", s.M.Stats.BlockInstrs)
+	m.Add("machine.block_bails", s.M.Stats.BlockBails)
 	if s.Watchdog != nil {
 		m.Add("watchdog.fires", s.Watchdog.Fires)
 	}

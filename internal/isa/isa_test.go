@@ -385,3 +385,35 @@ func TestInstLenCacheabilityContract(t *testing.T) {
 		}
 	}
 }
+
+// TestSerializingClassification pins the superblock serialize-point
+// set: exactly the control transfers, rep movsb, hlt, port I/O and int
+// are serializing among valid opcodes, and every invalid opcode byte
+// reports serializing (it raises, which ends straight-line execution).
+// Adding an opcode forces an explicit classification decision here —
+// misclassifying a new control transfer or I/O op as non-serializing
+// would let the block builder chain across it.
+func TestSerializingClassification(t *testing.T) {
+	serial := map[Op]bool{
+		OpHlt: true, OpIret: true,
+		OpJmp: true, OpJmpFar: true, OpJe: true, OpJne: true,
+		OpJb: true, OpJbe: true, OpJa: true, OpJae: true,
+		OpLoop: true, OpCall: true, OpRet: true,
+		OpRepMovsb: true,
+		OpOutI:     true, OpInI: true, OpOutDx: true, OpInDx: true,
+		OpInt: true,
+	}
+	for b := 0; b < 256; b++ {
+		op := Op(b)
+		want := serial[op] || !op.Valid()
+		if got := op.Serializing(); got != want {
+			t.Errorf("Op(%#02x) %q: Serializing() = %v, want %v", b, op.Mnemonic(), got, want)
+		}
+	}
+	// The set must not silently shrink: all listed ops stay valid.
+	for op := range serial {
+		if !op.Valid() {
+			t.Errorf("serializing op %#02x no longer defined", uint8(op))
+		}
+	}
+}

@@ -213,13 +213,41 @@ var instrDefs = map[Op]instrInfo{
 	OpWPSet: {"wpset", ShapeR},
 }
 
+// serializingOps lists the opcodes after which straight-line execution
+// cannot be assumed to continue at ip+size, or after which arbitrary
+// machine state may have changed outside the instruction's own
+// semantics. These are the superblock serialize points: a predecoded
+// run must end at (and include) any such instruction.
+//
+//   - control transfers: the next ip is computed, conditional, or
+//     popped from memory (jmp/jcc/loop/call/ret/iret/int), so the
+//     successor cannot be chained statically;
+//   - rep movsb: resumable — ip re-targets the instruction itself
+//     while cx counts down, a data-dependent successor;
+//   - hlt: the processor leaves the fetch loop entirely;
+//   - port I/O: devices run host code that may mutate memory,
+//     registers, pins or the machine's caching mode.
+//
+// Writes to cs (mov/pop into a segment register) also retarget the
+// code stream, but whether an instance targets cs is an operand
+// property, not an opcode property — the machine's block builder
+// checks that case itself.
+var serializingOps = []Op{
+	OpHlt, OpIret,
+	OpJmp, OpJmpFar, OpJe, OpJne, OpJb, OpJbe, OpJa, OpJae,
+	OpLoop, OpCall, OpRet,
+	OpRepMovsb,
+	OpOutI, OpInI, OpOutDx, OpInDx, OpInt,
+}
+
 // instrTable is the dense dispatch table: one slot per opcode byte,
 // populated from instrDefs at init. Decode indexes it on every fetch,
 // so it must not be a map.
 var instrTable [256]struct {
 	instrInfo
-	valid bool
-	size  uint8
+	valid  bool
+	serial bool
+	size   uint8
 }
 
 func init() {
@@ -227,6 +255,12 @@ func init() {
 		instrTable[op].instrInfo = info
 		instrTable[op].valid = true
 		instrTable[op].size = uint8(info.shape.Size())
+	}
+	for _, op := range serializingOps {
+		if !instrTable[op].valid {
+			panic("isa: serializing op not defined")
+		}
+		instrTable[op].serial = true
 	}
 }
 
@@ -239,6 +273,11 @@ func (op Op) Shape() OperandShape { return instrTable[op].shape }
 // Size returns the encoded size in bytes of an instruction with opcode
 // op, or 0 if op is invalid.
 func (op Op) Size() int { return int(instrTable[op].size) }
+
+// Serializing reports whether op is a superblock serialize point (see
+// serializingOps). Invalid opcodes report true: they raise an exception,
+// which certainly ends straight-line execution.
+func (op Op) Serializing() bool { return instrTable[op].serial || !instrTable[op].valid }
 
 // InstLen returns the full encoded length implied by an instruction's
 // first byte, or 0 when the byte is not a defined opcode.

@@ -43,12 +43,20 @@ const (
 // the write-generations of the first and last byte's pages at fill
 // time (equal pages store the same value twice; comparing both is
 // cheaper than branching).
+//
+// Known-invalid decodes are cached too (inv set): a guest spinning on
+// an illegal opcode — the paper's corrupt-pc-lands-on-data scenario —
+// would otherwise re-run Decode every step. For an invalid entry, span
+// covers exactly the bytes Decode examined (max(InstLen(b0), 1), per
+// the isa.InstLen cacheability contract), so the generation check
+// guards precisely the bytes the verdict depends on.
 type dcEntry struct {
-	// Probe-order layout: the hit test reads tag, size, gen0 and gen1,
+	// Probe-order layout: the hit test reads tag, span, gen0 and gen1,
 	// so they lead the struct and share a cache line; inst is only
 	// touched on a confirmed hit.
 	tag  uint32
-	size uint8
+	span uint8
+	inv  bool
 	gen0 uint64
 	gen1 uint64
 	inst isa.Inst
@@ -56,10 +64,12 @@ type dcEntry struct {
 
 // SetDecodeCache enables or disables the predecoded instruction cache.
 // The cache is on by default; disabling it forces every fetch through
-// the byte-wise slow path. Behaviour must be bit-identical either way
-// — the differential tests and fuzzer hold the two modes against each
-// other — so this exists for those tests and for A/B benchmarking, not
-// for correctness control.
+// the byte-wise slow path and also disables the superblock engine built
+// on top of it (SetSuperblocks), so "cache off" means the full
+// reference interpreter. Behaviour must be bit-identical either way —
+// the differential tests and fuzzer hold the modes against each other —
+// so this exists for those tests and for A/B benchmarking, not for
+// correctness control.
 func (m *Machine) SetDecodeCache(on bool) {
 	if on {
 		if m.dcache == nil {
@@ -67,6 +77,7 @@ func (m *Machine) SetDecodeCache(on bool) {
 		}
 	} else {
 		m.dcache = nil
+		m.SetSuperblocks(false)
 	}
 }
 
@@ -85,24 +96,39 @@ func (m *Machine) fetch() (*isa.Inst, int, bool) {
 	gens := m.pageGens
 	e := &m.dcache[lin&dcMask]
 	// Masking the last-byte index with AddrMask is a no-op for valid
-	// entries (lin+size-1 <= AddrMask on this path) but lets the
+	// entries (lin+span-1 <= AddrMask on this path) but lets the
 	// compiler prove the index is in range, eliding the bounds check.
 	if e.tag == lin+1 &&
 		gens[lin>>mem.PageShift] == e.gen0 &&
-		gens[((lin+uint32(e.size)-1)&mem.AddrMask)>>mem.PageShift] == e.gen1 {
-		return &e.inst, int(e.size), true
+		gens[((lin+uint32(e.span)-1)&mem.AddrMask)>>mem.PageShift] == e.gen1 {
+		if e.inv {
+			// Known-invalid: reproduce the miss path's outputs exactly
+			// (zero scratch instruction, size 0, ok false).
+			m.slowInst = isa.Inst{}
+			return &m.slowInst, 0, false
+		}
+		return &e.inst, int(e.span), true
 	}
 	in, size, ok := isa.Decode(m.Bus.View(lin, isa.MaxInstrSize))
 	if !ok {
-		// Invalid decodes are not cached: they are the exception path,
-		// and a failed decode may have examined fewer bytes than a
-		// generation range would have to cover.
+		// Cache the invalid verdict over the bytes Decode examined.
+		span := isa.InstLen(m.Bus.LoadByte(lin))
+		if span == 0 {
+			span = 1
+		}
+		e.tag = lin + 1
+		e.inst = isa.Inst{}
+		e.span = uint8(span)
+		e.inv = true
+		e.gen0 = gens[lin>>mem.PageShift]
+		e.gen1 = gens[(lin+uint32(span)-1)>>mem.PageShift]
 		m.slowInst = in
 		return &m.slowInst, size, false
 	}
 	e.tag = lin + 1
 	e.inst = in
-	e.size = uint8(size)
+	e.span = uint8(size)
+	e.inv = false
 	e.gen0 = gens[lin>>mem.PageShift]
 	e.gen1 = gens[(lin+uint32(size)-1)>>mem.PageShift]
 	return &e.inst, size, true

@@ -11,8 +11,17 @@ func (m *Machine) execute() Event {
 	if !ok {
 		return m.raiseException(VecInvalidOpcode)
 	}
+	return m.exec1(in, m.CPU.IP+uint16(size))
+}
+
+// exec1 executes one already-decoded instruction whose first byte the
+// current ip addresses, with nextIP its sequential successor (ip+size).
+// It is the single semantic core shared by the interpreter (execute,
+// above) and the superblock engine (superblock.go), which precomputes
+// nextIP at block-build time; any behavioural change here changes both
+// engines identically.
+func (m *Machine) exec1(in *isa.Inst, nextIP uint16) Event {
 	c := &m.CPU
-	nextIP := c.IP + uint16(size)
 
 	switch in.Op {
 	case isa.OpNop:

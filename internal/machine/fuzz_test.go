@@ -156,6 +156,92 @@ func FuzzDecodeCacheDifferential(f *testing.F) {
 	})
 }
 
+// FuzzSuperblockDifferential extends FuzzDecodeCacheDifferential to the
+// full engine stack: superblock, predecode-only and reference machines
+// run the same fuzz-chosen schedule of stores, corruptions and step
+// batches. Batches go through Run — the only path that exercises the
+// batched loop, the turbo lane and block chaining — in fuzz-chosen
+// sizes, so cursors are left mid-block across mutations. Seeded from
+// the decode-cache target's corpus so every staleness schedule that
+// ever mattered there is replayed against the block engine too.
+func FuzzSuperblockDifferential(f *testing.F) {
+	f.Add([]byte{1, 40, 1, 40})
+	f.Add([]byte{0, 0x10, 0x02, byte(isa.OpHlt), 1, 8, 0, 0x11, 0x02, byte(isa.OpStosb), 1, 8})
+	f.Add([]byte{2, 0x00, 0x10, 1, 20, 3, 0x34, 0x12, 1, 20, 4, 1, 20, 6, 1, 20})
+	f.Add(bytes.Repeat([]byte{0, 0xAB, 0x05, 0x62, 1, 3}, 24))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tri := newTriMachines(t, Options{
+			ResetVector:     SegOff{0x0100, 0},
+			NMICounter:      true,
+			ExceptionPolicy: ExceptionVector,
+			ExceptionVector: SegOff{0xF000, 0},
+		})
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 1024; i++ {
+			a := 0x1000 + uint32(i)
+			v := byte(rng.Intn(256))
+			triDo(tri, func(m *Machine) { m.Bus.PokeRAM(a, v) })
+		}
+
+		pop := func() (byte, bool) {
+			if len(data) == 0 {
+				return 0, false
+			}
+			b := data[0]
+			data = data[1:]
+			return b, true
+		}
+		steps := 0
+		for steps < 50000 {
+			op, ok := pop()
+			if !ok {
+				break
+			}
+			switch op % 7 {
+			case 0: // poke a byte near the code region (fault injection)
+				lo, _ := pop()
+				hi, _ := pop()
+				v, _ := pop()
+				addr := 0x1000 + (uint32(hi)<<8|uint32(lo))&0x0FFF
+				triDo(tri, func(m *Machine) { m.Bus.PokeRAM(addr, v) })
+			case 1: // run a batch, comparing state at the boundary
+				n, _ := pop()
+				k := int(n%64) + 1
+				triDo(tri, func(m *Machine) { m.Run(k) })
+				steps += k
+				compareTriCPU(t, tri, "fuzz batch")
+			case 2: // corrupt IP
+				lo, _ := pop()
+				hi, _ := pop()
+				v := uint16(hi)<<8 | uint16(lo)
+				triDo(tri, func(m *Machine) { m.CPU.IP = v })
+			case 3: // corrupt a register bank entry
+				reg, _ := pop()
+				lo, _ := pop()
+				v := uint16(lo) | uint16(reg)<<8
+				i := isa.Reg(reg) % isa.NumRegs
+				triDo(tri, func(m *Machine) { m.CPU.R[i] = v })
+			case 4: // raise NMI on all
+				triDo(tri, func(m *Machine) { m.RaiseNMI() })
+			case 5: // direct word store via the bus (DMA-style)
+				lo, _ := pop()
+				hi, _ := pop()
+				v, _ := pop()
+				addr := 0x1000 + (uint32(hi)<<8|uint32(lo))&0x0FFF
+				triDo(tri, func(m *Machine) { m.Bus.StoreWord(addr, uint16(v)|uint16(v)<<8) })
+			case 6: // toggle halt latch
+				v, _ := pop()
+				h := v%2 == 0
+				triDo(tri, func(m *Machine) { m.CPU.Halted = h })
+			}
+		}
+		// Drain: a final burst so late mutations get executed.
+		triDo(tri, func(m *Machine) { m.Run(256) })
+		compareTri(t, tri, "fuzz final")
+	})
+}
+
 // TestRandomFaultStormOnEveryApproachSubstrate hammers a single machine
 // with interleaved random faults and steps; the stepper must keep
 // exact accounting throughout.

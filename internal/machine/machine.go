@@ -109,6 +109,12 @@ func (e Event) String() string {
 }
 
 // Stats counts step outcomes since machine creation.
+//
+// The first seven counters are architectural: two engines executing the
+// same configuration sequence must agree on them exactly. The Block*
+// counters are engine telemetry — how much work the superblock engine
+// retired and how often it had to bail — and legitimately differ
+// between engines; comparisons across engines go through Arch.
 type Stats struct {
 	Steps      uint64 // total clock ticks
 	Instrs     uint64 // instructions executed (rep iterations count once each)
@@ -117,12 +123,17 @@ type Stats struct {
 	Exceptions uint64 // exceptions raised
 	Resets     uint64 // hardware resets performed
 	HaltTicks  uint64 // ticks spent halted
+
+	Blocks      uint64 // superblocks entered (span validated, first entry run)
+	BlockInstrs uint64 // instructions retired through superblock entries
+	BlockBails  uint64 // superblocks abandoned before exhaustion (stale span, diverged pc, exception)
 }
 
 // String renders every counter compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("steps=%d instrs=%d nmis=%d irqs=%d exceptions=%d resets=%d halt=%d",
-		s.Steps, s.Instrs, s.NMIs, s.IRQs, s.Exceptions, s.Resets, s.HaltTicks)
+	return fmt.Sprintf("steps=%d instrs=%d nmis=%d irqs=%d exceptions=%d resets=%d halt=%d blocks=%d blkinstrs=%d blkbails=%d",
+		s.Steps, s.Instrs, s.NMIs, s.IRQs, s.Exceptions, s.Resets, s.HaltTicks,
+		s.Blocks, s.BlockInstrs, s.BlockBails)
 }
 
 // Delta returns the per-counter difference s - prev. Take a snapshot
@@ -130,14 +141,27 @@ func (s Stats) String() string {
 // that interval (the counters only ever grow).
 func (s Stats) Delta(prev Stats) Stats {
 	return Stats{
-		Steps:      s.Steps - prev.Steps,
-		Instrs:     s.Instrs - prev.Instrs,
-		NMIs:       s.NMIs - prev.NMIs,
-		IRQs:       s.IRQs - prev.IRQs,
-		Exceptions: s.Exceptions - prev.Exceptions,
-		Resets:     s.Resets - prev.Resets,
-		HaltTicks:  s.HaltTicks - prev.HaltTicks,
+		Steps:       s.Steps - prev.Steps,
+		Instrs:      s.Instrs - prev.Instrs,
+		NMIs:        s.NMIs - prev.NMIs,
+		IRQs:        s.IRQs - prev.IRQs,
+		Exceptions:  s.Exceptions - prev.Exceptions,
+		Resets:      s.Resets - prev.Resets,
+		HaltTicks:   s.HaltTicks - prev.HaltTicks,
+		Blocks:      s.Blocks - prev.Blocks,
+		BlockInstrs: s.BlockInstrs - prev.BlockInstrs,
+		BlockBails:  s.BlockBails - prev.BlockBails,
 	}
+}
+
+// Arch returns the architectural counters with the engine-telemetry
+// Block* counters zeroed. Differential suites comparing execution
+// engines (interpreter vs predecode vs superblock) must compare
+// Arch() values: the engines agree bit-for-bit on what the machine
+// did, not on which fast path did it.
+func (s Stats) Arch() Stats {
+	s.Blocks, s.BlockInstrs, s.BlockBails = 0, 0, 0
+	return s
 }
 
 // PortDevice is an I/O-port-mapped device.
@@ -190,6 +214,18 @@ type Machine struct {
 	pageGens *[mem.NumPages]uint64
 	slowInst isa.Inst
 
+	// Superblock engine state (superblock.go): sblocks is the
+	// direct-mapped block table (nil when disabled via SetSuperblocks;
+	// individual blocks are allocated on demand so idle replicas stay
+	// small), sbCur/sbIdx the active block cursor, busStamp the bus's
+	// write-epoch counter, and sbStamp its value when the current
+	// block's span was last validated.
+	sblocks  *[sbSize]*superblock
+	sbCur    *superblock
+	sbIdx    int
+	busStamp *uint64
+	sbStamp  uint64
+
 	// AfterStep, when non-nil, is invoked after every step with the
 	// event that occurred. Monitors and fault injectors hook here.
 	AfterStep func(m *Machine, ev Event)
@@ -212,6 +248,8 @@ func New(bus *mem.Bus, opts Options) *Machine {
 		Opts:     opts,
 		dcache:   new([dcSize]dcEntry),
 		pageGens: bus.PageGens(),
+		sblocks:  new([sbSize]*superblock),
+		busStamp: bus.WriteStamp(),
 	}
 	m.Reset()
 	return m

@@ -53,10 +53,16 @@ func (m *Machine) Step() Event {
 }
 
 // Run executes n steps and returns the machine for chaining.
+//
+// With the superblock engine enabled and no AfterStep hook installed,
+// steps run through the batched loop (superblock.go), which is
+// semantically identical to calling Step n times — the fallback the
+// loop takes per-step whenever a hook appears (fault-injection windows,
+// monitors) or the engine is disabled. Both conditions are re-checked
+// every iteration, so a ticker or port device that installs a hook or
+// flips the engine mid-run is honoured from the very next step.
 func (m *Machine) Run(n int) *Machine {
-	for i := 0; i < n; i++ {
-		m.Step()
-	}
+	m.runBatched(n)
 	return m
 }
 

@@ -1,0 +1,935 @@
+package machine
+
+import (
+	"ssos/internal/isa"
+	"ssos/internal/mem"
+)
+
+// The superblock engine: batch-validated, threaded dispatch for the
+// step loop.
+//
+// The predecode cache (decodecache.go) removed decode cost but still
+// pays a cache probe and two page-generation compares per instruction,
+// plus the big execute switch. This layer chains predecoded entries
+// into superblocks — straight-line runs ending at a serialize point
+// (branch/jump/call/ret, int/iret, hlt, port I/O, rep movsb, a write
+// to cs; see isa.Serializing) — records the set of distinct
+// mem.PageSize-byte pages the run's bytes span, validates all their
+// write-generations once on block entry, and then executes the run by
+// calling one function pointer per entry, never re-probing the decode
+// cache in between.
+//
+// Soundness from ANY configuration is non-negotiable, so a block is a
+// transparent batching of N interpreter steps, not a new semantics:
+//
+//   - Per-step skeleton: Run's batched loop performs exactly Step's
+//     sequence — Stats.Steps, device ticks, pin checks, halt ticks,
+//     NMI-counter decrement, the trailing AfterStep check — with only
+//     the instruction-execution slot served by the block engine. The
+//     turbo lane (sbTurbo) elides skeleton checks that are provably
+//     dead — no tickers registered, no pins latched, not halted — and
+//     re-establishes them at every block boundary, the only place the
+//     executors themselves can violate them (port I/O, hlt and int are
+//     serialize points, hence always block-final). Interrupts, resets
+//     and halts therefore preempt a block between any two entries,
+//     exactly as they preempt the interpreter between any two steps.
+//   - Per-entry validation: before an entry runs, the engine checks
+//     that the live cs:ip still addresses that entry. The check is
+//     (e.ip == c.IP && e.lin == linear(cs, ip)): since cs<<4 ≡ lin−ip
+//     (mod 2^20) the pair (lin, ip) determines cs uniquely, so a
+//     passing check proves the entry's predecoded bytes and
+//     precomputed nextIP describe precisely the instruction the
+//     interpreter would fetch. Any divergence — an exception taken by
+//     the previous entry, a ticker or device corrupting registers, an
+//     adopted snapshot — fails the compare and bails.
+//   - Staleness: the bus write stamp (mem.Bus.WriteStamp) advances on
+//     every memory mutation anywhere. While the stamp is unchanged
+//     since the block's last validation, the block's bytes are
+//     provably unwritten and entries run with zero generation checks;
+//     when it moved (a guest store, a fault injection, a snapshot
+//     restore), the engine re-checks the block's span pages against
+//     their build-time generations and bails on any mismatch. A store
+//     into the current block's own span — self-modifying code — is
+//     therefore caught before the next entry runs, and execution
+//     resumes in the interpreter on the freshly written bytes.
+//   - Fault windows and monitors install Machine.AfterStep; the
+//     batched loop falls back to plain Step for as long as one is
+//     installed, so injection timing is bit-identical. A non-nil Probe
+//     does NOT force the fallback: probes are consulted only inside
+//     stepPins and raiseException, which the batched loop and the
+//     fallback share, so instrumented sessions still run blocks (and
+//     their block telemetry means something).
+//
+// Bailing is cheap and always available, so every rare case — wrap-
+// adjacent fetches, undecodable heads, page-budget overflows — simply
+// falls back to the interpreter, which remains the single source of
+// truth for semantics.
+
+const (
+	// sbBits sizes the direct-mapped block table. Block heads are
+	// jump targets and fall-through points, a handful per guest, so a
+	// small table suffices; the index mixes high linear bits in so
+	// same-alignment heads in different regions don't thrash one slot.
+	sbBits = 10
+	sbSize = 1 << sbBits
+	sbMask = sbSize - 1
+
+	// sbMaxLen caps entries per block; covers every loop body in the
+	// repo's guests while keeping rebuild cost (after self-modification)
+	// bounded.
+	sbMaxLen = 32
+
+	// sbMaxPages caps the distinct pages a block's bytes may span.
+	// sbMaxLen entries of MaxInstrSize bytes fit in 3 pages; 4 leaves
+	// slack while keeping entry validation a tiny fixed loop.
+	sbMaxPages = 4
+)
+
+// sbFn executes one predecoded entry. The contract mirrors one
+// exec1 dispatch: c.IP addresses the entry's first byte on call, and
+// the fn leaves the machine exactly as exec1(&e.inst, e.nextIP) would.
+type sbFn func(m *Machine, e *sbEntry) Event
+
+// sbEntry is one instruction inside a superblock.
+type sbEntry struct {
+	fn     sbFn
+	lin    uint32 // linear address of the instruction's first byte
+	ip     uint16 // cs-relative offset of the first byte
+	nextIP uint16 // sequential successor (ip+size)
+	inst   isa.Inst
+}
+
+// superblock is a straight-line run of predecoded instructions plus
+// the page-generation evidence that its backing bytes are unchanged.
+// n == 0 marks a negative block: the head byte is known not to decode
+// (generation-validated like any entry), so entry falls straight to
+// the interpreter's exception path without re-attempting a build.
+type superblock struct {
+	lin    uint32
+	ip     uint16
+	n      uint16
+	npages uint8
+	pages  [sbMaxPages]uint32
+	gens   [sbMaxPages]uint64
+	ins    []sbEntry
+
+	// succ caches the block most recently entered after this one
+	// exhausted — a monomorphic chain hint that lets the turbo loop
+	// follow block→block transitions without re-probing the table. It
+	// is only ever a hint: every use re-checks (lin, ip) and span
+	// freshness, so a stale pointer (the slot was rebuilt for another
+	// head) simply misses.
+	succ *superblock
+}
+
+// SetSuperblocks enables or disables the superblock engine. On by
+// default; behaviour must be bit-identical either way — the three-way
+// differential suites hold the engines against each other — so this
+// exists for those tests and for A/B benchmarking. Disabling the
+// decode cache (SetDecodeCache(false)) disables superblocks too.
+func (m *Machine) SetSuperblocks(on bool) {
+	if on {
+		if m.sblocks == nil {
+			m.sblocks = new([sbSize]*superblock)
+		}
+	} else {
+		m.sblocks = nil
+		m.sbCur = nil
+	}
+}
+
+// runBatched is Run's loop body: one Step-equivalent iteration per
+// step, with the instruction-execution slot served by the superblock
+// engine and its per-entry fast path inlined (the engine's whole win is
+// one short dependent chain per instruction — compare ip, recompute
+// lin, compare the write stamp, call the entry's function — so it must
+// not hide behind further call frames). Every other line of an
+// iteration mirrors Step exactly — the two must be kept in lockstep,
+// which the three-way differential suites enforce.
+//
+// The fallback conditions (AfterStep installed, engine disabled) are
+// live machine fields re-read every iteration, so hooks installed
+// mid-run by tickers or port devices take effect on the very next step.
+func (m *Machine) runBatched(n int) {
+	for done := 0; done < n; done++ {
+		if m.AfterStep != nil || m.sblocks == nil {
+			m.Step()
+			continue
+		}
+		// Turbo lane: while the step skeleton provably has no work — no
+		// devices to tick, no latched pins, not halted, no AfterStep —
+		// consecutive block entries retire in a tight loop that chains
+		// block to block. The preconditions hold between boundaries
+		// because the only executors that can tick devices, latch pins,
+		// halt or install hooks (port I/O, hlt, int) are serialize
+		// points, hence always block-final; sbTurbo re-checks them at
+		// each boundary and exits on any violation.
+		if m.pins == 0 && !m.CPU.Halted && len(m.tickers) == 0 {
+			if b := m.sbCur; b != nil {
+				done = m.sbTurbo(b, done, n)
+				if done >= n {
+					return
+				}
+			}
+		}
+		// One full Step-equivalent iteration, with the
+		// instruction-execution slot served by the engine. Mirrors Step
+		// line for line — the two must be kept in lockstep, which the
+		// three-way differential suites enforce.
+		m.Stats.Steps++
+		if len(m.tickers) != 0 {
+			for _, t := range m.tickers {
+				t.Tick(m)
+			}
+		}
+		var ev Event
+		handled := false
+		if m.pins != 0 {
+			ev, handled = m.stepPins()
+		}
+		if !handled {
+			if m.CPU.Halted {
+				m.Stats.HaltTicks++
+				ev = EventHalted
+			} else {
+				ev = m.sbExec()
+			}
+		}
+		if m.Opts.NMICounter && ev != EventNMI && m.CPU.NMICounter > 0 {
+			m.CPU.NMICounter--
+		}
+		if m.AfterStep != nil {
+			m.AfterStep(m, ev)
+		}
+	}
+}
+
+// sbTurbo retires consecutive entries of the current block b, one per
+// step, starting at step index done and stopping at n. Preconditions
+// (established by runBatched, invariant between block boundaries):
+// AfterStep nil, no tickers, no latched pins, not halted. Each
+// iteration performs exactly one Step: Stats.Steps, the per-entry
+// validation, the entry's executor, the NMI-counter decrement, and the
+// trailing AfterStep check; the skeleton's remaining checks are dead
+// under the preconditions.
+//
+// At a block boundary (the block exhausted), the loop keeps going
+// without dropping out: the only executors with skeleton-visible side
+// effects — port I/O ticking a device that latches a pin or installs a
+// ticker, hlt, int — are serialize points and hence block-final, so the
+// preconditions are re-checked exactly there, and then control chains
+// to the successor block: the block itself for a loop back-edge, the
+// cached succ hint, or a table probe. Every chained entry revalidates
+// (lin, ip) and span freshness just as sbEnter would; only an unbuilt,
+// stale or negative successor drops to runBatched's full path, which
+// rebuilds via sbEnter. Returns the number of steps done.
+func (m *Machine) sbTurbo(b *superblock, done, n int) int {
+	c := &m.CPU
+	i := m.sbIdx
+	for done < n {
+		entered := false
+		if i >= len(b.ins) {
+			// Block boundary: re-establish the skeleton preconditions
+			// that a block-final executor may have violated, then chain.
+			if m.pins != 0 || c.Halted || len(m.tickers) != 0 || m.sblocks == nil {
+				break
+			}
+			ip := c.IP
+			lin := (uint32(c.S[isa.CS])<<4 + uint32(ip)) & mem.AddrMask
+			if b.ip == ip && b.lin == lin {
+				// Loop back-edge: re-enter in place; the entry-0 check
+				// below revalidates span freshness.
+			} else if s := b.succ; s != nil && s.ip == ip && s.lin == lin && m.sbValidate(s) {
+				b, m.sbCur = s, s
+				m.sbStamp = *m.busStamp
+			} else if s := m.sbLookup(lin, ip); s != nil && m.sbValidate(s) {
+				b.succ = s
+				b, m.sbCur = s, s
+				m.sbStamp = *m.busStamp
+			} else {
+				break // unbuilt, stale or negative successor: full path
+			}
+			i = 0
+			entered = true
+		}
+		e := &b.ins[i]
+		// Full entry validation: (lin, ip) pins the live configuration
+		// to this exact entry, the stamp pins the block's bytes.
+		if !(e.ip == c.IP &&
+			e.lin == (uint32(c.S[isa.CS])<<4+uint32(c.IP))&mem.AddrMask &&
+			(*m.busStamp == m.sbStamp || m.sbRevalidate(b))) {
+			if !entered {
+				m.Stats.BlockBails++
+			}
+			m.sbCur = nil
+			break
+		}
+		if entered {
+			m.Stats.Blocks++
+		}
+		// Continuation run. After a validated entry completes with
+		// EventInstr, the (lin, ip) compare is provably redundant for
+		// the next entry: a non-final executor's only normal exit sets
+		// IP = nextIP (the exec1 contract), which the builder laid out
+		// as the next entry's ip; branches and cs writes are block-
+		// final; and under the turbo preconditions nothing else runs
+		// between entries. Only the write stamp — self-modifying
+		// stores, DMA — still needs re-checking per step.
+		for {
+			m.Stats.Steps++
+			m.Stats.BlockInstrs++
+			ev := e.fn(m, e)
+			i++
+			done++
+			// ev is never EventNMI here (executors return EventInstr or
+			// an exception), so Step's "except on the delivering tick"
+			// guard is vacuously true.
+			if m.Opts.NMICounter && c.NMICounter > 0 {
+				c.NMICounter--
+			}
+			if m.AfterStep != nil {
+				// Installed by this very entry (a block-final port
+				// device): Step would invoke it on the installing step
+				// already.
+				m.AfterStep(m, ev)
+				m.sbIdx = i
+				return done
+			}
+			if ev != EventInstr {
+				// Exception: full-path checks (halt, diverged pc) next step.
+				m.sbIdx = i
+				return done
+			}
+			if done >= n || i >= len(b.ins) {
+				break // budget or boundary: the outer loop handles both
+			}
+			e = &b.ins[i]
+			if *m.busStamp != m.sbStamp && !m.sbRevalidate(b) {
+				m.Stats.BlockBails++
+				m.sbCur = nil
+				m.sbIdx = i
+				return done
+			}
+		}
+	}
+	m.sbIdx = i
+	return done
+}
+
+// sbExec executes one instruction through the engine: the current
+// block's next entry if it provably matches the live configuration,
+// else a freshly entered (or rebuilt) block at cs:ip, else one
+// interpreter instruction. This is the out-of-line twin of the inlined
+// fast path in runBatched, kept for tests that drive the engine one
+// step at a time.
+func (m *Machine) sbExec() Event {
+	if b := m.sbCur; b != nil {
+		i := m.sbIdx
+		if i < len(b.ins) {
+			e := &b.ins[i]
+			c := &m.CPU
+			if e.ip == c.IP &&
+				e.lin == (uint32(c.S[isa.CS])<<4+uint32(c.IP))&mem.AddrMask &&
+				(*m.busStamp == m.sbStamp || m.sbRevalidate(b)) {
+				m.sbIdx = i + 1
+				m.Stats.BlockInstrs++
+				return e.fn(m, e)
+			}
+			m.Stats.BlockBails++
+		}
+		m.sbCur = nil
+	}
+	return m.sbEnter()
+}
+
+// sbRevalidate re-checks the block's span pages against their
+// build-time generations after the bus write stamp moved, refreshing
+// the stamp snapshot on success so later entries take the one-compare
+// path again. Writes outside the span (the common case: the guest's
+// own data stores) cost exactly this check; writes inside it fail it.
+func (m *Machine) sbRevalidate(b *superblock) bool {
+	if !m.sbValidate(b) {
+		return false
+	}
+	m.sbStamp = *m.busStamp
+	return true
+}
+
+// sbValidate compares every span page's current generation with its
+// build-time value: true means the block's bytes are provably the
+// bytes it was built from.
+func (m *Machine) sbValidate(b *superblock) bool {
+	gens := m.pageGens
+	for i := uint8(0); i < b.npages; i++ {
+		if gens[b.pages[i]] != b.gens[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sbLookup probes the block table for a built, positive block headed at
+// (lin, ip); nil means miss, head mismatch or negative block, all of
+// which the caller routes to the full path. Wrap-adjacent live heads
+// need no explicit guard: built heads always satisfy the wrap guards,
+// so a wrap-adjacent ip can never match a stored one.
+func (m *Machine) sbLookup(lin uint32, ip uint16) *superblock {
+	b := m.sblocks[(lin^lin>>sbBits)&sbMask]
+	if b == nil || b.lin != lin || b.ip != ip || b.n == 0 {
+		return nil
+	}
+	return b
+}
+
+// sbEnter looks up (or builds) the superblock headed at cs:ip,
+// validates its span, and executes its first entry. Wrap-adjacent
+// configurations fall back to the interpreter's byte-wise path, and
+// negative blocks to its exception path.
+func (m *Machine) sbEnter() Event {
+	c := &m.CPU
+	ip := c.IP
+	lin := (uint32(c.S[isa.CS])<<4 + uint32(ip)) & mem.AddrMask
+	if ip > 0x10000-isa.MaxInstrSize || lin > mem.AddrSpace-isa.MaxInstrSize {
+		return m.execute()
+	}
+	idx := (lin ^ lin>>sbBits) & sbMask
+	b := m.sblocks[idx]
+	if b == nil || b.lin != lin || b.ip != ip || !m.sbValidate(b) {
+		b = m.sbBuild(b, lin, ip)
+		m.sblocks[idx] = b
+	}
+	if b.n == 0 {
+		return m.execute()
+	}
+	m.sbCur = b
+	m.sbIdx = 1
+	m.sbStamp = *m.busStamp
+	m.Stats.Blocks++
+	m.Stats.BlockInstrs++
+	e := &b.ins[0]
+	return e.fn(m, e)
+}
+
+// sbBuild (re)builds the superblock headed at lin (== linear(cs, ip)),
+// reusing the evicted block's entry storage when there is one. The
+// caller has already established that the head passes the wrap guards.
+func (m *Machine) sbBuild(b *superblock, lin uint32, ip uint16) *superblock {
+	if b == nil {
+		b = &superblock{ins: make([]sbEntry, 0, sbMaxLen)}
+	} else {
+		b.ins = b.ins[:0]
+	}
+	b.lin, b.ip, b.npages, b.succ = lin, ip, 0, nil
+	for len(b.ins) < sbMaxLen {
+		if ip > 0x10000-isa.MaxInstrSize || lin > mem.AddrSpace-isa.MaxInstrSize {
+			break // successor needs the byte-wise wrap path
+		}
+		in, size, ok := isa.Decode(m.Bus.View(lin, isa.MaxInstrSize))
+		if !ok {
+			if len(b.ins) == 0 {
+				// Negative block: the head does not decode. Span exactly
+				// the bytes the verdict depends on (the isa.InstLen
+				// cacheability contract).
+				span := isa.InstLen(m.Bus.LoadByte(lin))
+				if span == 0 {
+					span = 1
+				}
+				b.addSpan(lin, uint32(span))
+			}
+			break
+		}
+		if !b.addSpan(lin, uint32(size)) {
+			break // page budget exhausted; end the block before this instruction
+		}
+		b.ins = append(b.ins, sbEntry{
+			fn:     sbFnFor(in.Op),
+			lin:    lin,
+			ip:     ip,
+			nextIP: ip + uint16(size),
+			inst:   in,
+		})
+		if sbEndsBlock(&in) {
+			break
+		}
+		ip += uint16(size)
+		lin += uint32(size)
+	}
+	b.n = uint16(len(b.ins))
+	gens := m.pageGens
+	for i := uint8(0); i < b.npages; i++ {
+		b.gens[i] = gens[b.pages[i]]
+	}
+	return b
+}
+
+// addSpan records the pages of [lin, lin+size) in the block's span,
+// reporting false when the page budget would overflow.
+func (b *superblock) addSpan(lin, size uint32) bool {
+	p0 := lin >> mem.PageShift
+	p1 := (lin + size - 1) >> mem.PageShift
+	for p := p0; p <= p1; p++ {
+		if !b.addPage(p) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *superblock) addPage(p uint32) bool {
+	for i := uint8(0); i < b.npages; i++ {
+		if b.pages[i] == p {
+			return true
+		}
+	}
+	if int(b.npages) == len(b.pages) {
+		return false
+	}
+	b.pages[b.npages] = p
+	b.npages++
+	return true
+}
+
+// sbEndsBlock reports whether the decoded instruction must be the last
+// entry of its block: any isa-level serialize point, plus any instance
+// that writes cs (retargeting the code stream), which is an operand
+// property the isa table cannot classify.
+func sbEndsBlock(in *isa.Inst) bool {
+	if in.Op.Serializing() {
+		return true
+	}
+	switch in.Op {
+	case isa.OpMovSR, isa.OpMovSM, isa.OpPopS:
+		return isa.SReg(in.R1) == isa.CS
+	}
+	return false
+}
+
+// --- threaded dispatch -------------------------------------------------
+//
+// Every entry carries a func pointer. The hottest opcodes get dedicated
+// executors that skip the exec1 switch entirely; everything else runs
+// through sbGeneric, which IS exec1 — so a specialized fn can only
+// diverge from the interpreter by its own body, each of which mirrors
+// one exec1 case line for line.
+
+var sbFns [256]sbFn
+
+func sbFnFor(op isa.Op) sbFn {
+	if f := sbFns[op]; f != nil {
+		return f
+	}
+	return sbGeneric
+}
+
+func init() {
+	sbFns[isa.OpNop] = sbNop
+	sbFns[isa.OpMovRI] = sbMovRI
+	sbFns[isa.OpMovRR] = sbMovRR
+	sbFns[isa.OpMovSR] = sbMovSR
+	sbFns[isa.OpMovRS] = sbMovRS
+	sbFns[isa.OpMovRM] = sbMovRM
+	sbFns[isa.OpMovMR] = sbMovMR
+	sbFns[isa.OpMovMI] = sbMovMI
+	sbFns[isa.OpMovSM] = sbMovSM
+	sbFns[isa.OpMovMS] = sbMovMS
+	sbFns[isa.OpAddRR] = sbAddRR
+	sbFns[isa.OpAddRI] = sbAddRI
+	sbFns[isa.OpAddRM] = sbAddRM
+	sbFns[isa.OpSubRR] = sbSubRR
+	sbFns[isa.OpSubRI] = sbSubRI
+	sbFns[isa.OpIncR] = sbIncR
+	sbFns[isa.OpDecR] = sbDecR
+	sbFns[isa.OpAndRR] = sbAndRR
+	sbFns[isa.OpAndRI] = sbAndRI
+	sbFns[isa.OpOrRR] = sbOrRR
+	sbFns[isa.OpOrRI] = sbOrRI
+	sbFns[isa.OpXorRR] = sbXorRR
+	sbFns[isa.OpCmpRR] = sbCmpRR
+	sbFns[isa.OpCmpRI] = sbCmpRI
+	sbFns[isa.OpCmpRM] = sbCmpRM
+	sbFns[isa.OpShlRI] = sbShlRI
+	sbFns[isa.OpShrRI] = sbShrRI
+	sbFns[isa.OpPushR] = sbPushR
+	sbFns[isa.OpPopR] = sbPopR
+	sbFns[isa.OpStosb] = sbStosb
+	sbFns[isa.OpLodsb] = sbLodsb
+	sbFns[isa.OpJmp] = sbJmp
+	sbFns[isa.OpJe] = sbJe
+	sbFns[isa.OpJne] = sbJne
+	sbFns[isa.OpJb] = sbJb
+	sbFns[isa.OpJbe] = sbJbe
+	sbFns[isa.OpJa] = sbJa
+	sbFns[isa.OpJae] = sbJae
+	sbFns[isa.OpLoop] = sbLoop
+	sbFns[isa.OpCall] = sbCall
+	sbFns[isa.OpRet] = sbRet
+}
+
+func sbGeneric(m *Machine, e *sbEntry) Event {
+	return m.exec1(&e.inst, e.nextIP)
+}
+
+func sbNop(m *Machine, e *sbEntry) Event {
+	m.CPU.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbMovRI(m *Machine, e *sbEntry) Event {
+	m.CPU.R[e.inst.R1] = e.inst.Imm
+	m.CPU.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbMovRR(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	c.R[e.inst.R1] = c.R[e.inst.R2]
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbMovSR(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	c.S[e.inst.R1] = c.R[e.inst.R2]
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbMovRS(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	c.R[e.inst.R1] = c.S[e.inst.R2]
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbMovSM(m *Machine, e *sbEntry) Event {
+	m.CPU.S[e.inst.R1] = m.loadMem(&e.inst)
+	m.CPU.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbMovMS(m *Machine, e *sbEntry) Event {
+	if !m.storeMem(&e.inst, m.CPU.S[e.inst.R1]) {
+		return m.raiseException(VecGP)
+	}
+	m.CPU.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbMovRM(m *Machine, e *sbEntry) Event {
+	m.CPU.R[e.inst.R1] = m.loadMem(&e.inst)
+	m.CPU.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbMovMR(m *Machine, e *sbEntry) Event {
+	if !m.storeMem(&e.inst, m.CPU.R[e.inst.R1]) {
+		return m.raiseException(VecGP)
+	}
+	m.CPU.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbMovMI(m *Machine, e *sbEntry) Event {
+	if !m.storeMem(&e.inst, e.inst.Imm) {
+		return m.raiseException(VecGP)
+	}
+	m.CPU.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbAddRR(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	c.R[e.inst.R1] = m.add16(c.R[e.inst.R1], c.R[e.inst.R2])
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbAddRI(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	c.R[e.inst.R1] = m.add16(c.R[e.inst.R1], e.inst.Imm)
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbAddRM(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	c.R[e.inst.R1] = m.add16(c.R[e.inst.R1], m.loadMem(&e.inst))
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbSubRR(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	c.R[e.inst.R1] = m.sub16(c.R[e.inst.R1], c.R[e.inst.R2])
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbSubRI(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	c.R[e.inst.R1] = m.sub16(c.R[e.inst.R1], e.inst.Imm)
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbIncR(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	c.R[e.inst.R1]++
+	m.setZS(c.R[e.inst.R1])
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbDecR(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	c.R[e.inst.R1]--
+	m.setZS(c.R[e.inst.R1])
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbAndRR(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	c.R[e.inst.R1] = m.logic16(c.R[e.inst.R1] & c.R[e.inst.R2])
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbAndRI(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	c.R[e.inst.R1] = m.logic16(c.R[e.inst.R1] & e.inst.Imm)
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbOrRR(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	c.R[e.inst.R1] = m.logic16(c.R[e.inst.R1] | c.R[e.inst.R2])
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbOrRI(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	c.R[e.inst.R1] = m.logic16(c.R[e.inst.R1] | e.inst.Imm)
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbXorRR(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	c.R[e.inst.R1] = m.logic16(c.R[e.inst.R1] ^ c.R[e.inst.R2])
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbShlRI(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	n := uint(e.inst.Imm) & 31
+	v := c.R[e.inst.R1]
+	if n > 0 && n <= 16 {
+		c.Flags = c.Flags.Set(isa.FlagCF, v>>(16-n)&1 != 0)
+	}
+	c.R[e.inst.R1] = m.logicKeepCF(v << n)
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbShrRI(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	n := uint(e.inst.Imm) & 31
+	v := c.R[e.inst.R1]
+	if n > 0 && n <= 16 {
+		c.Flags = c.Flags.Set(isa.FlagCF, v>>(n-1)&1 != 0)
+	}
+	c.R[e.inst.R1] = m.logicKeepCF(v >> n)
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbPushR(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	if !m.pushGuarded(c.R[e.inst.R1]) {
+		c.R[isa.SP] += 2
+		return m.raiseException(VecGP)
+	}
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbPopR(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	c.R[e.inst.R1] = m.pop()
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbCmpRR(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	m.sub16(c.R[e.inst.R1], c.R[e.inst.R2])
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbCmpRI(m *Machine, e *sbEntry) Event {
+	m.sub16(m.CPU.R[e.inst.R1], e.inst.Imm)
+	m.CPU.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbCmpRM(m *Machine, e *sbEntry) Event {
+	m.sub16(m.CPU.R[e.inst.R1], m.loadMem(&e.inst))
+	m.CPU.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbStosb(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	dst := m.Linear(isa.ES, c.R[isa.DI])
+	if !m.storeAllowed(dst) || !m.Bus.StoreByte(dst, c.Reg8(isa.AL)) {
+		return m.raiseException(VecGP)
+	}
+	c.R[isa.DI] = m.stringAdvance(c.R[isa.DI])
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbLodsb(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	c.SetReg8(isa.AL, m.Bus.LoadByte(m.Linear(isa.DS, c.R[isa.SI])))
+	c.R[isa.SI] = m.stringAdvance(c.R[isa.SI])
+	c.IP = e.nextIP
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbJmp(m *Machine, e *sbEntry) Event {
+	m.CPU.IP = e.inst.Imm
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbJe(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	if c.Flags.Has(isa.FlagZF) {
+		c.IP = e.inst.Imm
+	} else {
+		c.IP = e.nextIP
+	}
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbJne(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	if !c.Flags.Has(isa.FlagZF) {
+		c.IP = e.inst.Imm
+	} else {
+		c.IP = e.nextIP
+	}
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbJb(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	if c.Flags.Has(isa.FlagCF) {
+		c.IP = e.inst.Imm
+	} else {
+		c.IP = e.nextIP
+	}
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbJbe(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	if c.Flags.Has(isa.FlagCF) || c.Flags.Has(isa.FlagZF) {
+		c.IP = e.inst.Imm
+	} else {
+		c.IP = e.nextIP
+	}
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbJa(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	if !c.Flags.Has(isa.FlagCF) && !c.Flags.Has(isa.FlagZF) {
+		c.IP = e.inst.Imm
+	} else {
+		c.IP = e.nextIP
+	}
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbJae(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	if !c.Flags.Has(isa.FlagCF) {
+		c.IP = e.inst.Imm
+	} else {
+		c.IP = e.nextIP
+	}
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbLoop(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	c.R[isa.CX]--
+	if c.R[isa.CX] != 0 {
+		c.IP = e.inst.Imm
+	} else {
+		c.IP = e.nextIP
+	}
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbCall(m *Machine, e *sbEntry) Event {
+	c := &m.CPU
+	if !m.pushGuarded(e.nextIP) {
+		c.R[isa.SP] += 2
+		return m.raiseException(VecGP)
+	}
+	c.IP = e.inst.Imm
+	m.Stats.Instrs++
+	return EventInstr
+}
+
+func sbRet(m *Machine, e *sbEntry) Event {
+	m.CPU.IP = m.pop()
+	m.Stats.Instrs++
+	return EventInstr
+}

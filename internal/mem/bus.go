@@ -101,6 +101,14 @@ type Bus struct {
 	// invalidation. 64-bit counters cannot realistically wrap.
 	gens *[NumPages]uint64
 
+	// stamp is the bus-wide write epoch: advanced at least once by every
+	// mutation that bumps any page generation. It gives consumers that
+	// validate multi-page spans (the machine's superblock engine) a
+	// one-compare fast path: an unchanged stamp proves no byte anywhere
+	// was written since the last full span validation, so the per-page
+	// counters only need rechecking when the stamp moved.
+	stamp uint64
+
 	// ROMWriteCount counts stores that targeted ROM, regardless of
 	// policy. Useful for detecting misbehaving guests in tests.
 	ROMWriteCount uint64
@@ -175,12 +183,19 @@ func (b *Bus) PageGen(addr uint32) uint64 {
 // pointer stays valid for the bus's lifetime.
 func (b *Bus) PageGens() *[NumPages]uint64 { return b.gens }
 
+// WriteStamp exposes the bus-wide write epoch counter. Callers must
+// treat it as read-only; like PageGens it is handed out as a pointer so
+// the machine's superblock fast path pays one load per step instead of
+// a method call, and it stays valid for the bus's lifetime.
+func (b *Bus) WriteStamp() *uint64 { return &b.stamp }
+
 // bumpRange advances the generation of every page overlapping
 // [start, end).
 func (b *Bus) bumpRange(start, end uint32) {
 	for p := start >> PageShift; p <= (end-1)>>PageShift; p++ {
 		b.gens[p]++
 	}
+	b.stamp++
 }
 
 // bumpAll advances every page generation (full-memory mutation).
@@ -188,6 +203,7 @@ func (b *Bus) bumpAll() {
 	for i := range b.gens {
 		b.gens[i]++
 	}
+	b.stamp++
 }
 
 // LoadByte returns the byte at addr.
@@ -206,6 +222,7 @@ func (b *Bus) StoreByte(addr uint32, v byte) bool {
 	}
 	b.data[addr] = v
 	b.gens[addr>>PageShift]++
+	b.stamp++
 	return true
 }
 
@@ -241,6 +258,7 @@ func (b *Bus) StoreWord(addr uint32, v uint16) bool {
 		if a1>>PageShift != a0>>PageShift {
 			b.gens[a1>>PageShift]++
 		}
+		b.stamp++
 		return true
 	}
 	ok1 := b.StoreByte(a0, byte(v))
@@ -256,6 +274,7 @@ func (b *Bus) Poke(addr uint32, v byte) {
 	addr &= AddrMask
 	b.data[addr] = v
 	b.gens[addr>>PageShift]++
+	b.stamp++
 }
 
 // PokeRAM writes v at addr unless addr is in ROM; it reports whether
@@ -268,6 +287,7 @@ func (b *Bus) PokeRAM(addr uint32, v byte) bool {
 	}
 	b.data[addr] = v
 	b.gens[addr>>PageShift]++
+	b.stamp++
 	return true
 }
 

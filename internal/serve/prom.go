@@ -37,7 +37,8 @@ var promQuantiles = []struct {
 	{"0.99", 99},
 }
 
-// sessionEpStats is the scrape-time digest of one session's episodes.
+// sessionEpStats is the scrape-time digest of one session's episodes
+// and engine telemetry.
 type sessionEpStats struct {
 	id                                   string
 	events                               int
@@ -47,6 +48,10 @@ type sessionEpStats struct {
 	fault                                map[string][]uint64
 	actionKeys                           []string
 	action                               map[string][]uint64
+
+	// Superblock-engine mirrors (machine sessions only).
+	machine                         bool
+	blocks, blockInstrs, blockBails uint64
 }
 
 // digestSession folds a session's episode snapshot for the scrape.
@@ -59,6 +64,7 @@ func digestSession(sess *Session) *sessionEpStats {
 		fault:  make(map[string][]uint64),
 		action: make(map[string][]uint64),
 	}
+	st.blocks, st.blockInstrs, st.blockBails, st.machine = sess.BlockTelemetry()
 	for _, ep := range sess.Episodes() {
 		st.total++
 		switch {
@@ -159,6 +165,24 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	p.family("ssos_session_events_total", "Structured events emitted by the session.", "counter")
 	for _, d := range digests {
 		p.sample("ssos_session_events_total", promLabel("session", d.id), float64(d.events))
+	}
+	p.family("ssos_session_blocks_total", "Superblocks entered by the session's machine.", "counter")
+	for _, d := range digests {
+		if d.machine {
+			p.sample("ssos_session_blocks_total", promLabel("session", d.id), float64(d.blocks))
+		}
+	}
+	p.family("ssos_session_block_instrs_total", "Instructions retired through superblock entries.", "counter")
+	for _, d := range digests {
+		if d.machine {
+			p.sample("ssos_session_block_instrs_total", promLabel("session", d.id), float64(d.blockInstrs))
+		}
+	}
+	p.family("ssos_session_block_bails_total", "Superblock validation bails back to the interpreter.", "counter")
+	for _, d := range digests {
+		if d.machine {
+			p.sample("ssos_session_block_bails_total", promLabel("session", d.id), float64(d.blockBails))
+		}
 	}
 	p.family("ssos_episodes_total", "Recovery episodes opened (one per injected-fault burst).", "counter")
 	for _, d := range digests {

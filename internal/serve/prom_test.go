@@ -131,3 +131,37 @@ func TestPromMetricsMatchBatchQuantiles(t *testing.T) {
 		t.Error("second scrape differs — scraping perturbed the daemon")
 	}
 }
+
+// TestPromBlockTelemetry: the scraped superblock-engine counters equal
+// the session's own status counters, and a run long enough to warm the
+// engine actually retires work through blocks — the exported telemetry
+// is live, not a dead zero.
+func TestPromBlockTelemetry(t *testing.T) {
+	_, base, id := runBridgePair(t)
+
+	var st Status
+	if err := json.Unmarshal(apiOK(t, "GET", base+"/api/sessions/"+id, ""), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Machine == nil {
+		t.Fatal("machine session reported no machine status")
+	}
+	if st.Machine.Blocks == 0 || st.Machine.BlockInstrs == 0 {
+		t.Fatalf("superblock engine never engaged: %+v", st.Machine)
+	}
+
+	doc := string(apiOK(t, "GET", base+"/metrics", ""))
+	for _, c := range []struct {
+		family string
+		want   uint64
+	}{
+		{"ssos_session_blocks_total", st.Machine.Blocks},
+		{"ssos_session_block_instrs_total", st.Machine.BlockInstrs},
+		{"ssos_session_block_bails_total", st.Machine.BlockBails},
+	} {
+		got := promValue(t, doc, c.family+`{session="`+id+`"}`)
+		if got != float64(c.want) {
+			t.Errorf("%s: scraped %v, status %d", c.family, got, c.want)
+		}
+	}
+}

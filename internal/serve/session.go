@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ssos/internal/cluster"
 	"ssos/internal/core"
@@ -47,6 +48,15 @@ type Session struct {
 	scheduled bool
 	closed    bool
 	closeErr  error
+
+	// blocks/blockInstrs/blockBails mirror the machine's superblock
+	// telemetry for the concurrent-safe Prometheus scrape: refreshed at
+	// the end of every Run command (the only command that advances the
+	// counters), read without touching the command queue. Always zero
+	// for cluster sessions.
+	blocks      atomic.Uint64
+	blockInstrs atomic.Uint64
+	blockBails  atomic.Uint64
 
 	// created and lastTouch are registry logical-clock stamps, guarded
 	// by the registry mutex (not this one).
@@ -220,15 +230,21 @@ type FaultResult struct {
 	Injected []string `json:"injected"`
 }
 
-// MachineStatus is the machine-session slice of a Status.
+// MachineStatus is the machine-session slice of a Status. Blocks,
+// BlockInstrs and BlockBails are superblock-engine telemetry: how much
+// of the run retired through batch-validated blocks and how often
+// validation bailed to the interpreter.
 type MachineStatus struct {
-	Steps      uint64 `json:"steps"`
-	Instrs     uint64 `json:"instrs"`
-	NMIs       uint64 `json:"nmis"`
-	IRQs       uint64 `json:"irqs"`
-	Exceptions uint64 `json:"exceptions"`
-	Resets     uint64 `json:"resets"`
-	Heartbeats uint64 `json:"heartbeats"`
+	Steps       uint64 `json:"steps"`
+	Instrs      uint64 `json:"instrs"`
+	NMIs        uint64 `json:"nmis"`
+	IRQs        uint64 `json:"irqs"`
+	Exceptions  uint64 `json:"exceptions"`
+	Resets      uint64 `json:"resets"`
+	Heartbeats  uint64 `json:"heartbeats"`
+	Blocks      uint64 `json:"blocks"`
+	BlockInstrs uint64 `json:"block_instrs"`
+	BlockBails  uint64 `json:"block_bails"`
 }
 
 // ClusterStatus is the cluster-session slice of a Status.
@@ -272,12 +288,15 @@ func (s *Session) status() *Status {
 	switch {
 	case s.sys != nil:
 		m := &MachineStatus{
-			Steps:      s.sys.M.Stats.Steps,
-			Instrs:     s.sys.M.Stats.Instrs,
-			NMIs:       s.sys.M.Stats.NMIs,
-			IRQs:       s.sys.M.Stats.IRQs,
-			Exceptions: s.sys.M.Stats.Exceptions,
-			Resets:     s.sys.M.Stats.Resets,
+			Steps:       s.sys.M.Stats.Steps,
+			Instrs:      s.sys.M.Stats.Instrs,
+			NMIs:        s.sys.M.Stats.NMIs,
+			IRQs:        s.sys.M.Stats.IRQs,
+			Exceptions:  s.sys.M.Stats.Exceptions,
+			Resets:      s.sys.M.Stats.Resets,
+			Blocks:      s.sys.M.Stats.Blocks,
+			BlockInstrs: s.sys.M.Stats.BlockInstrs,
+			BlockBails:  s.sys.M.Stats.BlockBails,
 		}
 		if s.sys.Heartbeat != nil {
 			m.Heartbeats = s.sys.Heartbeat.Total()
@@ -317,6 +336,9 @@ func (s *Session) Run(req RunRequest) (*Status, error) {
 				return nil, fmt.Errorf("machine session: run wants steps > 0")
 			}
 			s.sys.Run(req.Steps)
+			s.blocks.Store(s.sys.M.Stats.Blocks)
+			s.blockInstrs.Store(s.sys.M.Stats.BlockInstrs)
+			s.blockBails.Store(s.sys.M.Stats.BlockBails)
 		case s.clu != nil:
 			if req.Epochs <= 0 {
 				return nil, fmt.Errorf("cluster session: run wants epochs > 0")
@@ -400,6 +422,13 @@ func (s *Session) Episodes() []obs.Episode { return s.tracker.Episodes() }
 
 // EpisodesInFlight returns the number of unresolved episodes.
 func (s *Session) EpisodesInFlight() int { return s.tracker.InFlight() }
+
+// BlockTelemetry returns the superblock-engine counters mirrored at
+// the last Run command, and whether this is a machine session. Reads
+// the atomic mirrors directly — no command, safe mid-run.
+func (s *Session) BlockTelemetry() (blocks, instrs, bails uint64, ok bool) {
+	return s.blocks.Load(), s.blockInstrs.Load(), s.blockBails.Load(), s.sys != nil
+}
 
 // EventsSince returns the retained event stream from the given cursor.
 // It reads the concurrent-safe collector directly — no command, so it
