@@ -1,18 +1,28 @@
 // ssos-lint is the repository's static checker front end.
 //
-// Two modes:
+// Three modes:
 //
 //	ssos-lint [packages...]   run the analyzer suite (genbump, detmap,
-//	                          probenil, nodeterm) over Go packages;
-//	                          defaults to ./... from the module root.
+//	                          probenil, nodeterm, noalloc, lockzone)
+//	                          over Go packages; defaults to ./... from
+//	                          the module root.
 //	ssos-lint -images         build every guest ROM image and run the
 //	                          imglint verifier over each.
+//	ssos-lint -certs          build every ring convergence certificate
+//	                          and run the ranking prover; prints the
+//	                          per-certificate results as deterministic
+//	                          JSON.
 //
-// Exit status is 1 when any finding is reported, so both modes slot
-// directly into CI.
+// -json switches the package and image modes to the same deterministic
+// JSON findings format.
+//
+// Exit status: 0 clean, 1 when any finding is reported (or any
+// certificate fails to prove), 2 on operational errors — so every mode
+// slots directly into CI.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,14 +34,19 @@ import (
 
 func main() {
 	images := flag.Bool("images", false, "lint assembled guest ROM images instead of Go packages")
+	certs := flag.Bool("certs", false, "check ring convergence certificates (JSON output)")
+	jsonOut := flag.Bool("json", false, "emit findings as deterministic JSON")
 	flag.Parse()
 
 	var failed bool
 	var err error
-	if *images {
-		failed, err = lintImages()
-	} else {
-		failed, err = lintPackages(flag.Args())
+	switch {
+	case *certs:
+		failed, err = lintCerts()
+	case *images:
+		failed, err = lintImages(*jsonOut)
+	default:
+		failed, err = lintPackages(flag.Args(), *jsonOut)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ssos-lint: %v\n", err)
@@ -42,26 +57,73 @@ func main() {
 	}
 }
 
+// emitJSON prints v as deterministic indented JSON.
+func emitJSON(v any) error {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+// lintCerts checks every ring convergence certificate and prints the
+// results as JSON (byte-identical across runs: the certificate catalog
+// and each result's findings are deterministically ordered).
+func lintCerts() (failed bool, err error) {
+	specs, err := guest.ConvergenceCerts()
+	if err != nil {
+		return false, fmt.Errorf("building certificates: %w", err)
+	}
+	results := make([]imglint.CertResult, 0, len(specs))
+	for _, spec := range specs {
+		r := imglint.CheckRingCert(spec.Cert)
+		results = append(results, r)
+		if !r.Proved() {
+			failed = true
+		}
+	}
+	if err := emitJSON(results); err != nil {
+		return false, err
+	}
+	proved := 0
+	for _, r := range results {
+		if r.Proved() {
+			proved++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ssos-lint: %d certificate(s) checked, %d proved\n", len(results), proved)
+	return failed, nil
+}
+
 // lintImages verifies every assembled guest ROM image.
-func lintImages() (failed bool, err error) {
+func lintImages(jsonOut bool) (failed bool, err error) {
 	specs, err := guest.LintImages()
 	if err != nil {
 		return false, fmt.Errorf("building guest images: %w", err)
 	}
-	total := 0
+	var findings []imglint.Finding
 	for _, spec := range specs {
-		findings := imglint.Check(spec)
+		findings = append(findings, imglint.Check(spec)...)
+	}
+	if jsonOut {
+		if findings == nil {
+			findings = []imglint.Finding{}
+		}
+		if err := emitJSON(findings); err != nil {
+			return false, err
+		}
+	} else {
 		for _, f := range findings {
 			fmt.Println(f)
 		}
-		total += len(findings)
 	}
-	fmt.Printf("ssos-lint: %d image(s) checked, %d finding(s)\n", len(specs), total)
-	return total > 0, nil
+	fmt.Fprintf(os.Stderr, "ssos-lint: %d image(s) checked, %d finding(s)\n", len(specs), len(findings))
+	return len(findings) > 0, nil
 }
 
 // lintPackages runs the analyzer suite over the given package patterns.
-func lintPackages(patterns []string) (failed bool, err error) {
+func lintPackages(patterns []string, jsonOut bool) (failed bool, err error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -82,9 +144,20 @@ func lintPackages(patterns []string) (failed bool, err error) {
 		return false, err
 	}
 	diags := analyzers.Run(pkgs, analyzers.All())
-	for _, d := range diags {
-		fmt.Println(d)
+	diags = append(diags, analyzers.RunGlobal(pkgs, analyzers.AllGlobal())...)
+	analyzers.Sort(diags)
+	if jsonOut {
+		if diags == nil {
+			diags = []analyzers.Diagnostic{}
+		}
+		if err := emitJSON(diags); err != nil {
+			return false, err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
-	fmt.Printf("ssos-lint: %d package(s) checked, %d finding(s)\n", len(pkgs), len(diags))
+	fmt.Fprintf(os.Stderr, "ssos-lint: %d package(s) checked, %d finding(s)\n", len(pkgs), len(diags))
 	return len(diags) > 0, nil
 }

@@ -133,6 +133,30 @@ func main() {
 		}
 	}
 
+	// Static convergence certificates (paper Section 4's convergence
+	// stair, proved statically): the ranking prover lifts each mailbox
+	// ring image from its shipped ROM bytes, extracts the move function,
+	// and certifies a steps-to-legal bound against the declared variant.
+	if *static {
+		specs, err := guest.ConvergenceCerts()
+		if err != nil {
+			report("static convergence certificates build", 0, err.Error(), false)
+		} else {
+			for _, spec := range specs {
+				r := imglint.CheckRingCert(spec.Cert)
+				outcome := fmt.Sprintf("local obligations only (n=%d)", r.N)
+				if r.Mode == "ranking" {
+					outcome = fmt.Sprintf("steps-to-legal <= %d (rank %d + %d mid-entry)", r.Bound, r.RankBound, r.N)
+				}
+				for _, f := range r.Findings {
+					fmt.Println("      " + f.String())
+				}
+				report(fmt.Sprintf("convergence certificate %s", r.Name),
+					r.States, outcome, r.Proved())
+			}
+		}
+	}
+
 	if failures > 0 {
 		fmt.Printf("\n%d verification failures\n", failures)
 		os.Exit(1)

@@ -13,6 +13,10 @@
 //     (the "zero cost when disabled" contract).
 //   - nodeterm: no wall-clock or global-rng calls inside the
 //     deterministic simulation packages.
+//   - noalloc (global): functions reachable from the step-loop hot
+//     paths (`//ssos:hotpath` roots) must not allocate.
+//   - lockzone: struct fields annotated `//ssos:guarded-by <mu>` may
+//     only be touched under the owning mutex or via atomics.
 //
 // cmd/ssos-lint is the CLI driver; cmd/ssos-verify runs the same suite
 // as part of its report.
@@ -27,9 +31,9 @@ import (
 
 // Diagnostic is one analyzer finding.
 type Diagnostic struct {
-	Analyzer string
-	Position token.Position
-	Message  string
+	Analyzer string         `json:"analyzer"`
+	Position token.Position `json:"position"`
+	Message  string         `json:"message"`
 }
 
 func (d Diagnostic) String() string {
@@ -47,9 +51,25 @@ type Analyzer struct {
 	Run func(pkg *Package, report func(pos token.Pos, format string, args ...any))
 }
 
-// All returns the full analyzer suite.
+// GlobalAnalyzer is a static check over the whole load set at once,
+// for contracts that cross package boundaries (the noalloc call-graph
+// closure). All packages from one Loader share a token.FileSet, so
+// positions resolve through any member package.
+type GlobalAnalyzer struct {
+	Name string
+	Doc  string
+	// Run inspects every loaded package together, reporting findings.
+	Run func(pkgs []*Package, report func(pos token.Pos, format string, args ...any))
+}
+
+// All returns the per-package analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{Genbump, Detmap, Probenil, Nodeterm}
+	return []*Analyzer{Genbump, Detmap, Probenil, Nodeterm, Lockzone}
+}
+
+// AllGlobal returns the whole-program analyzer suite.
+func AllGlobal() []*GlobalAnalyzer {
+	return []*GlobalAnalyzer{Noalloc}
 }
 
 // Run applies the analyzers to the packages and returns the findings
@@ -74,6 +94,35 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			})
 		}
 	}
+	Sort(out)
+	return out
+}
+
+// RunGlobal applies the whole-program analyzers to the load set and
+// returns the findings sorted by file position.
+func RunGlobal(pkgs []*Package, analyzers []*GlobalAnalyzer) []Diagnostic {
+	if len(pkgs) == 0 {
+		return nil
+	}
+	fset := pkgs[0].Fset
+	var out []Diagnostic
+	for _, a := range analyzers {
+		a := a
+		a.Run(pkgs, func(pos token.Pos, format string, args ...any) {
+			out = append(out, Diagnostic{
+				Analyzer: a.Name,
+				Position: fset.Position(pos),
+				Message:  fmt.Sprintf(format, args...),
+			})
+		})
+	}
+	Sort(out)
+	return out
+}
+
+// Sort orders diagnostics by (file, offset, analyzer, message) — the
+// deterministic presentation order every driver uses.
+func Sort(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Position.Filename != b.Position.Filename {
@@ -87,7 +136,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return out
 }
 
 // pathSuffix builds an Applies predicate matching any of the given

@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"os"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -349,9 +350,200 @@ func alsoFine(d time.Duration) time.Duration {
 	}
 }
 
-// TestAnalyzersRepoClean runs the full suite over the entire module:
-// the repository must stay lint-clean, and the run must be
-// deterministic.
+// runGlobalOne applies a single global analyzer to synthetic source
+// forming a one-package load set.
+func runGlobalOne(t *testing.T, a *analyzers.GlobalAnalyzer, path, src string) []string {
+	t.Helper()
+	l := newLoader(t)
+	pkg, err := l.CheckSource(path, src)
+	if err != nil {
+		t.Fatalf("CheckSource: %v", err)
+	}
+	var msgs []string
+	a.Run([]*analyzers.Package{pkg}, func(pos token.Pos, format string, args ...any) {
+		msgs = append(msgs, fmt.Sprintf(format, args...))
+	})
+	return msgs
+}
+
+// TestNoallocFlagsAllocationClasses: one crafted violation per noalloc
+// rule class, each asserting the exact finding string. The hotpath root
+// reaches every violator by plain static call; the alloc-ok exemption
+// stops traversal.
+func TestNoallocFlagsAllocationClasses(t *testing.T) {
+	src := `package machine
+
+import "fmt"
+
+type point struct{ x, y int }
+
+//ssos:hotpath
+func root() {
+	sliceLit()
+	mapLit()
+	escape()
+	closure()
+	mapIndex(nil)
+	mapRange(nil)
+	appendGrow(nil)
+	makeIt()
+	newIt()
+	mapDelete(nil)
+	boxArg()
+	convert()
+	external()
+	coldBuild()
+	valueLit()
+}
+
+func sliceLit() []int          { v := []int{1, 2}; return v }
+func mapLit() map[int]int      { m := map[int]int{}; return m }
+func escape() *point           { return &point{1, 2} }
+func closure() func() int      { n := 0; return func() int { n++; return n } }
+func mapIndex(m map[int]int) int { return m[3] }
+func mapRange(m map[int]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+func appendGrow(s []int) []int { return append(s, 1) }
+func makeIt() []int            { return make([]int, 4) }
+func newIt() *point            { return new(point) }
+func mapDelete(m map[int]int)  { delete(m, 1) }
+func sink(v any)               { _ = v }
+func boxArg()                  { sink(42) }
+func convert() any             { n := 7; return any(n) }
+func external()                { fmt.Sprint(1) }
+func valueLit() point          { return point{3, 4} }
+
+//ssos:alloc-ok one-time build path, amortized
+func coldBuild() []int { return make([]int, 8) }
+
+func unreachable() []int { return make([]int, 16) }
+`
+	msgs := runGlobalOne(t, analyzers.Noalloc, "ssos/testdata/noalloc", src)
+	want := []string{
+		"hot path appendGrow allocates: append may grow its backing array",
+		"hot path boxArg allocates: int argument boxed into interface parameter",
+		"hot path closure allocates: function literal (closure)",
+		"hot path convert allocates: conversion to interface type any",
+		"hot path escape allocates: composite literal escapes through &",
+		"hot path external calls fmt.Sprint outside the module (allocation behaviour unknown)",
+		"hot path makeIt allocates: make",
+		"hot path mapDelete uses a map operation: delete",
+		"hot path mapIndex uses a map operation: index",
+		"hot path mapLit allocates: map literal",
+		"hot path mapRange uses a map operation: range",
+		"hot path newIt allocates: new",
+		"hot path sliceLit allocates: slice literal",
+	}
+	got := append([]string(nil), msgs...)
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("noalloc findings mismatch:\ngot:\n  %s\nwant:\n  %s",
+			strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+	}
+}
+
+// TestNoallocReferenceClosure: a function mentioned (not called) on the
+// hot path — the dispatch-table pattern — is pulled into the closure;
+// functions with no path from a root are not checked.
+func TestNoallocReferenceClosure(t *testing.T) {
+	src := `package machine
+
+var table [2]func() []int
+
+//ssos:hotpath
+func install() {
+	table[0] = executor
+}
+
+func executor() []int { return make([]int, 4) }
+
+func cold() []int { return make([]int, 4) }
+`
+	msgs := runGlobalOne(t, analyzers.Noalloc, "ssos/testdata/noallocref", src)
+	want := []string{"hot path executor allocates: make"}
+	if !reflect.DeepEqual(msgs, want) {
+		t.Errorf("got %v, want %v", msgs, want)
+	}
+}
+
+// TestLockzoneFlagsUnguardedAccess: one crafted violation per lockzone
+// rule class — plain unguarded access, access after a source-order
+// Unlock, untrackable owner — with exact finding strings; the guarded
+// patterns (defer, early-return bail-out, //ssos:locked annotation,
+// fresh construction) must pass.
+func TestLockzoneFlagsUnguardedAccess(t *testing.T) {
+	src := `package obs
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	//ssos:guarded-by mu
+	val int
+}
+
+func (b *box) Good() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.val
+}
+
+func (b *box) GoodEarlyReturn(stop bool) int {
+	b.mu.Lock()
+	if stop {
+		b.mu.Unlock()
+		return 0
+	}
+	v := b.val
+	b.mu.Unlock()
+	return v
+}
+
+// goodLocked runs with the lock held by its caller.
+//
+//ssos:locked mu
+func (b *box) goodLocked() int { return b.val }
+
+func goodFresh() *box {
+	b := &box{}
+	b.val = 1
+	return b
+}
+
+func (b *box) Bad() int { return b.val }
+
+func (b *box) BadAfterUnlock() int {
+	b.mu.Lock()
+	b.mu.Unlock()
+	return b.val
+}
+
+func BadUntrackable(bs []*box) int {
+	return bs[0].val
+}
+`
+	msgs := runOne(t, analyzers.Lockzone, "ssos/testdata/lockzone", src)
+	want := []string{
+		"lockzone@39: field b.val is guarded by b.mu but accessed without holding it",
+		"lockzone@44: field b.val is guarded by b.mu but accessed without holding it",
+		"lockzone@48: guarded field val accessed through an untrackable expression",
+	}
+	got := append([]string(nil), msgs...)
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("lockzone findings mismatch:\ngot:\n  %s\nwant:\n  %s",
+			strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+	}
+}
+
+// TestAnalyzersRepoClean runs the full suite — per-package and global —
+// over the entire module: the repository must stay lint-clean, and the
+// run must be deterministic.
 func TestAnalyzersRepoClean(t *testing.T) {
 	l := newLoader(t)
 	pkgs, err := l.Load([]string{"./..."})
@@ -362,10 +554,14 @@ func TestAnalyzersRepoClean(t *testing.T) {
 		t.Fatalf("only %d packages loaded; pattern expansion is broken", len(pkgs))
 	}
 	diags := analyzers.Run(pkgs, analyzers.All())
+	diags = append(diags, analyzers.RunGlobal(pkgs, analyzers.AllGlobal())...)
+	analyzers.Sort(diags)
 	for _, d := range diags {
 		t.Errorf("unexpected finding: %s", d)
 	}
 	again := analyzers.Run(pkgs, analyzers.All())
+	again = append(again, analyzers.RunGlobal(pkgs, analyzers.AllGlobal())...)
+	analyzers.Sort(again)
 	if !reflect.DeepEqual(diags, again) {
 		t.Error("analyzer output is not deterministic across runs")
 	}
@@ -388,6 +584,9 @@ func TestAppliesScoping(t *testing.T) {
 		{analyzers.Detmap, "ssos/internal/analyzers", false},
 		{analyzers.Nodeterm, "ssos/internal/machine", true},
 		{analyzers.Nodeterm, "ssos/cmd/ssos-run", false},
+		{analyzers.Lockzone, "ssos/internal/obs", true},
+		{analyzers.Lockzone, "ssos/internal/serve", true},
+		{analyzers.Lockzone, "ssos/internal/machine", false},
 	}
 	for _, c := range cases {
 		if got := c.a.Applies(c.path); got != c.want {

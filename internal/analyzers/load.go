@@ -16,11 +16,12 @@ import (
 
 // Package is one parsed and type-checked repository package.
 type Package struct {
-	Path  string // import path, e.g. "ssos/internal/mem"
-	Fset  *token.FileSet
-	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	Path   string // import path, e.g. "ssos/internal/mem"
+	Module string // module path from go.mod, e.g. "ssos"
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
 }
 
 // Loader type-checks repository packages without external tooling:
@@ -150,7 +151,7 @@ func (l *Loader) check(path string, files []*ast.File) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("typecheck %s: %w", path, err)
 	}
-	pkg := &Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	pkg := &Package{Path: path, Module: l.module, Fset: l.fset, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = pkg
 	l.state[path] = loadDone
 	return pkg, nil

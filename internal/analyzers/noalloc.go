@@ -1,0 +1,299 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Noalloc proves the step-loop hot paths allocation-free: every
+// function reachable from a `//ssos:hotpath` root (over the static
+// cross-package call graph) must not contain an allocating construct.
+// PR 4 and PR 9 bought the engine's ns/op by hand-removing allocations
+// from the step loop; this analyzer keeps them out.
+//
+// Annotations (in doc comments):
+//
+//	//ssos:hotpath          root: the function (and everything it
+//	                        statically references) is hot
+//	//ssos:alloc-ok <why>   exemption: the function may allocate (a
+//	                        cold slow path reachable from a hot one,
+//	                        e.g. one-time block building); traversal
+//	                        stops here
+//
+// Flagged constructs: slice/map composite literals and composite
+// literals escaping through & (plain struct value literals are
+// stack-bound), append, make, new, function literals (closures), map
+// operations (index, range, delete), conversions to interface types
+// (boxing), concrete arguments passed to interface parameters, and
+// calls into packages outside the module (their allocation behaviour
+// is not analyzable) except a small non-allocating allowlist.
+//
+// Known incompletenesses (documented in DESIGN.md): the call graph is
+// static — calls through function values (the superblock dispatch
+// table) and interface methods (Probe.Emit) are not traversed. The
+// dispatch table is covered by annotating its init function as a root,
+// which pulls every referenced executor into the closure; interface
+// call targets must carry their own roots if they are hot.
+var Noalloc = &GlobalAnalyzer{
+	Name: "noalloc",
+	Doc:  "functions reachable from //ssos:hotpath roots must not allocate",
+	Run:  runNoalloc,
+}
+
+// noallocAllowedPkgs are non-module packages whose functions are known
+// not to allocate.
+var noallocAllowedPkgs = map[string]bool{
+	"math/bits":   true,
+	"sync/atomic": true,
+}
+
+const (
+	hotpathMark = "ssos:hotpath"
+	allocOKMark = "ssos:alloc-ok"
+)
+
+// funcInfo is one declared function in the load set.
+type funcInfo struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	obj  *types.Func
+}
+
+// hasMark reports whether a doc comment carries the given annotation.
+func hasMark(doc *ast.CommentGroup, mark string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, mark) {
+			return true
+		}
+	}
+	return false
+}
+
+func runNoalloc(pkgs []*Package, report func(pos token.Pos, format string, args ...any)) {
+	// Collect every declared function, keyed by its object (object
+	// identity is stable across packages of one Loader).
+	funcs := map[*types.Func]*funcInfo{}
+	var roots []*types.Func
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				funcs[obj] = &funcInfo{pkg: pkg, decl: fd, obj: obj}
+				if hasMark(fd.Doc, hotpathMark) {
+					roots = append(roots, obj)
+				}
+			}
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+
+	// Closure over static references: a call OR a mention of a declared
+	// function inside a reachable body adds it (mentions cover dispatch
+	// tables and function values built on the hot path). alloc-ok stops
+	// traversal.
+	reachable := map[*types.Func]bool{}
+	work := append([]*types.Func(nil), roots...)
+	for len(work) > 0 {
+		obj := work[len(work)-1]
+		work = work[:len(work)-1]
+		if reachable[obj] {
+			continue
+		}
+		reachable[obj] = true
+		fi := funcs[obj]
+		if fi == nil || hasMark(fi.decl.Doc, allocOKMark) {
+			continue
+		}
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if callee, ok := fi.pkg.Info.Uses[id].(*types.Func); ok {
+				if _, declared := funcs[callee]; declared && !reachable[callee] {
+					work = append(work, callee)
+				}
+			}
+			return true
+		})
+	}
+
+	// Report allocation constructs in every reachable, non-exempt body,
+	// in deterministic order.
+	var order []*funcInfo
+	for obj := range reachable {
+		if fi := funcs[obj]; fi != nil && !hasMark(fi.decl.Doc, allocOKMark) {
+			order = append(order, fi)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].obj.FullName() < order[j].obj.FullName() })
+	for _, fi := range order {
+		checkNoallocBody(fi, funcs, report)
+	}
+}
+
+// checkNoallocBody flags the allocating constructs in one hot function.
+func checkNoallocBody(fi *funcInfo, funcs map[*types.Func]*funcInfo, report func(pos token.Pos, format string, args ...any)) {
+	info := fi.pkg.Info
+	name := fi.decl.Name.Name
+	if fi.decl.Recv != nil {
+		if recv := fi.obj.Type().(*types.Signature).Recv(); recv != nil {
+			name = "(" + recv.Type().String() + ")." + name
+		}
+	}
+	rep := func(pos token.Pos, format string, args ...any) {
+		args = append([]any{name}, args...)
+		report(pos, "hot path %s "+format, args...)
+	}
+
+	exprType := func(e ast.Expr) types.Type {
+		if tv, ok := info.Types[e]; ok {
+			return tv.Type
+		}
+		return nil
+	}
+	isInterface := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		_, ok := t.Underlying().(*types.Interface)
+		return ok
+	}
+
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			t := exprType(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				rep(n.Pos(), "allocates: slice literal")
+			case *types.Map:
+				rep(n.Pos(), "allocates: map literal")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					rep(n.Pos(), "allocates: composite literal escapes through &")
+				}
+			}
+		case *ast.FuncLit:
+			rep(n.Pos(), "allocates: function literal (closure)")
+			return false // the literal's body belongs to the closure finding
+		case *ast.IndexExpr:
+			if t := exprType(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					rep(n.Pos(), "uses a map operation: index")
+				}
+			}
+		case *ast.RangeStmt:
+			if t := exprType(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					rep(n.X.Pos(), "uses a map operation: range")
+				}
+			}
+		case *ast.CallExpr:
+			checkNoallocCall(fi, n, funcs, isInterface, exprType, rep)
+		}
+		return true
+	})
+}
+
+// checkNoallocCall classifies one call expression on the hot path.
+func checkNoallocCall(fi *funcInfo, call *ast.CallExpr, funcs map[*types.Func]*funcInfo,
+	isInterface func(types.Type) bool, exprType func(ast.Expr) types.Type,
+	rep func(pos token.Pos, format string, args ...any)) {
+	info := fi.pkg.Info
+
+	// Builtins and type conversions.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				rep(call.Pos(), "allocates: append may grow its backing array")
+			case "make":
+				rep(call.Pos(), "allocates: make")
+			case "new":
+				rep(call.Pos(), "allocates: new")
+			case "delete":
+				rep(call.Pos(), "uses a map operation: delete")
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion T(x): boxing when T is an interface.
+		if isInterface(tv.Type) && len(call.Args) == 1 && !isInterface(exprType(call.Args[0])) {
+			rep(call.Pos(), "allocates: conversion to interface type %s", tv.Type)
+		}
+		return
+	}
+
+	// Resolve the static callee, if any.
+	var callee *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		callee, _ = info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = info.Uses[fun.Sel].(*types.Func)
+	}
+	if callee == nil {
+		return // call through a function value: out of the static graph (documented)
+	}
+	if recv := callee.Type().(*types.Signature).Recv(); recv != nil && isInterface(recv.Type()) {
+		return // interface method: dynamic dispatch, out of the static graph (documented)
+	}
+	if pkg := callee.Pkg(); pkg != nil {
+		if _, declared := funcs[callee]; !declared && !noallocAllowedPkgs[pkg.Path()] {
+			// Module-internal but outside the load set: a partial run
+			// (ssos-lint ./internal/machine) cannot traverse it, so it is
+			// silently out of scope; a full ./... run has it declared.
+			mod := fi.pkg.Module
+			if mod != "" && (pkg.Path() == mod || strings.HasPrefix(pkg.Path(), mod+"/")) {
+				return
+			}
+			rep(call.Pos(), "calls %s outside the module (allocation behaviour unknown)", callee.FullName())
+			return
+		}
+	}
+	// Concrete arguments boxed into interface parameters.
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if isInterface(pt) && !isInterface(exprType(arg)) {
+			at := exprType(arg)
+			if at == nil || types.Identical(at, types.Typ[types.UntypedNil]) {
+				continue
+			}
+			rep(arg.Pos(), "allocates: %s argument boxed into interface parameter", at)
+		}
+	}
+}

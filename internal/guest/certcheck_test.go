@@ -1,0 +1,95 @@
+package guest_test
+
+import (
+	"testing"
+
+	"ssos/internal/guest"
+	"ssos/internal/imglint"
+)
+
+// TestCertBoundsConsistentWithModel cross-validates the static
+// convergence certificates against the explicit-state model checker:
+// for every certified configuration carrying a ranking proof, the
+// static steps-to-legal bound must dominate the model's exact worst
+// case (soundness — the certificate never promises faster convergence
+// than the protocol delivers) and stay within the declared slack above
+// it (precision — the prover is not free to inflate the bound). On
+// failure both bounds and the model's worst-case witness are printed.
+func TestCertBoundsConsistentWithModel(t *testing.T) {
+	specs, err := guest.ConvergenceCerts()
+	if err != nil {
+		t.Fatalf("ConvergenceCerts: %v", err)
+	}
+	ranked := 0
+	for _, spec := range specs {
+		r := imglint.CheckRingCert(spec.Cert)
+		if !r.Proved() {
+			t.Errorf("%s: certificate does not prove: %v", r.Name, r.Findings)
+			continue
+		}
+		if r.Mode != "ranking" {
+			continue // state space over the cap: local obligations only
+		}
+		ranked++
+		sys := spec.Protocol.System(spec.Cert.N)
+		exact, witness, ok := sys.CheckConvergence(len(sys.States))
+		if !ok {
+			t.Errorf("%s: model twin does not converge (witness %v)", r.Name, witness)
+			continue
+		}
+		if r.Bound < exact {
+			t.Errorf("%s: static bound %d BELOW model exact worst case %d (witness %v) — the certificate is unsound",
+				r.Name, r.Bound, exact, witness)
+		}
+		if r.Bound > exact+spec.Cert.Slack {
+			t.Errorf("%s: static bound %d exceeds exact worst case %d + declared slack %d",
+				r.Name, r.Bound, exact, spec.Cert.Slack)
+		}
+	}
+	if ranked < 12 {
+		t.Errorf("only %d ranking-mode certificates cross-validated, want >= 12", ranked)
+	}
+}
+
+// TestCertRankMatchesExactWorstCase pins the ranked bounds for the
+// three variants at the fleet sizes the model checker handles: with
+// the exact height map as declared variant, the certificate's rank
+// bound IS the exact worst case.
+func TestCertRankMatchesExactWorstCase(t *testing.T) {
+	want := map[string]int{
+		"mbox-dijkstra3-n3": 1,
+		"mbox-dijkstra3-n4": 10,
+		"mbox-dijkstra3-n5": 22,
+		"mbox-dijkstra3-n6": 39,
+		"mbox-ghosh4-n3":    0,
+		"mbox-ghosh4-n4":    3,
+		"mbox-ghosh4-n5":    8,
+		"mbox-ghosh4-n6":    15,
+	}
+	specs, err := guest.ConvergenceCerts()
+	if err != nil {
+		t.Fatalf("ConvergenceCerts: %v", err)
+	}
+	seen := 0
+	for _, spec := range specs {
+		exp, ok := want[spec.Cert.Name]
+		if !ok {
+			continue
+		}
+		seen++
+		r := imglint.CheckRingCert(spec.Cert)
+		if !r.Proved() {
+			t.Errorf("%s: not proved: %v", r.Name, r.Findings)
+			continue
+		}
+		if r.RankBound != exp {
+			t.Errorf("%s: rank bound %d, want exact worst case %d", r.Name, r.RankBound, exp)
+		}
+		if r.Bound != exp+r.N {
+			t.Errorf("%s: bound %d, want rank %d + mid-entry grace %d", r.Name, r.Bound, exp, r.N)
+		}
+	}
+	if seen != len(want) {
+		t.Errorf("pinned %d certificates but found %d in the catalog", len(want), seen)
+	}
+}

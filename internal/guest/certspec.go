@@ -1,0 +1,170 @@
+package guest
+
+import (
+	"fmt"
+
+	"ssos/internal/imglint"
+	"ssos/internal/model"
+)
+
+// Convergence-certificate specs: one imglint.RingCert per mailbox ring
+// configuration, binding the shipped node images to the declared
+// protocol model. The declared side of each certificate — legal set,
+// move table and variant function — comes from internal/model's
+// verified Protocol family; the checked side is extracted from the ROM
+// bytes by imglint.CheckRingCert. The variant is the protocol system's
+// exact height map (model.System.Heights), i.e. Kessels-style declared
+// ranking: if the bytes implement the declared protocol, every
+// extracted step out of an illegal configuration strictly descends it;
+// if they deviate, either the move cross-check or the ranking pass
+// fails. The declared slack is N (the mid-entry grace steps the
+// checker adds on top of the ranked bound).
+
+// RingCertSpec pairs a certificate with the protocol it declares.
+type RingCertSpec struct {
+	Cert     imglint.RingCert
+	Protocol model.Protocol
+	// Single marks the single-machine catalog ring (nodes in scheduler
+	// slots 0..n-1) as opposed to a one-node-per-replica fleet.
+	Single bool
+}
+
+// ringProtocol returns the model twin of a guest ring variant.
+func ringProtocol(v RingVariant) model.Protocol {
+	switch v {
+	case VariantDijkstra3:
+		return model.Dijkstra3Protocol()
+	case VariantGhosh4:
+		return model.Ghosh4Protocol()
+	default:
+		return model.KStateProtocol(MailboxK)
+	}
+}
+
+// toRingState packs a canonical configuration for the model's
+// fixed-size state type.
+func toRingState(x []uint16) model.RingState {
+	var s model.RingState
+	for i, v := range x {
+		s[i] = uint8(v)
+	}
+	return s
+}
+
+// domainWords widens a model domain to the checker's word type.
+func domainWords(d []uint8) []uint16 {
+	out := make([]uint16, len(d))
+	for i, v := range d {
+		out[i] = uint16(v)
+	}
+	return out
+}
+
+// certCommon fills the protocol-derived fields of a certificate for an
+// n-node ring of variant v: domains, declared moves, legal set, and —
+// when the product space fits the enumeration cap — the exact height
+// variant.
+func certCommon(c *imglint.RingCert, p model.Protocol, n int) error {
+	c.N = n
+	c.Slack = n
+	c.Slots = make([]uint32, n)
+	c.Domains = make([][]uint16, n)
+	states := 1
+	for i := 0; i < n; i++ {
+		c.Slots[i] = MailboxAddr(i)
+		c.Domains[i] = domainWords(p.Domain(i, n))
+		states *= len(c.Domains[i])
+	}
+	c.Moves = func(node int, self, left, right uint16) (bool, uint16) {
+		g := p.Guards(node, n, uint8(self), uint8(left), uint8(right))
+		if len(g) == 0 {
+			return false, 0
+		}
+		return true, uint16(g[0])
+	}
+	c.Legal = func(x []uint16) bool {
+		return len(p.Privileges(toRingState(x), n)) == 1
+	}
+	if states > imglint.DefaultMaxStates {
+		return nil // Mode "local": obligations only, no height map
+	}
+	heights, witness, ok := p.System(n).Heights()
+	if !ok {
+		return fmt.Errorf("protocol %s n=%d has no finite height map (witness %v)", p.Name, n, witness)
+	}
+	c.Variant = func(x []uint16) int { return heights[toRingState(x)] }
+	return nil
+}
+
+// certNode builds the RingNode for ring node `node` of n running in
+// scheduler slot proc, from an assembled process set.
+func certNode(p model.Protocol, set *ProcSet, node, n, proc int) imglint.RingNode {
+	left, right := -1, -1
+	if p.UsesLeft(node, n) {
+		left = (node + n - 1) % n
+	}
+	if p.UsesRight(node, n) {
+		right = (node + 1) % n
+	}
+	dataLo := uint32(ProcDataSeg(proc)) << 4
+	return imglint.RingNode{
+		Image: imglint.Image{
+			Name:    fmt.Sprintf("node%d", node),
+			Bytes:   set.Images[proc],
+			Seg:     ProcCodeSeg(proc),
+			CodeEnd: len(set.Progs[proc].Code),
+		},
+		Slot:   node,
+		Left:   left,
+		Right:  right,
+		DataLo: dataLo,
+		DataHi: dataLo + ProcRegionSize,
+	}
+}
+
+// ConvergenceCerts builds the full certificate catalog: for each ring
+// variant, the single-machine ring (MailboxNodes nodes in scheduler
+// slots 0..MailboxNodes-1) and every fleet size n=2..MaxMailboxNodes
+// (each node's image from its one-node-per-replica process set).
+func ConvergenceCerts() ([]RingCertSpec, error) {
+	var specs []RingCertSpec
+	for _, v := range RingVariants() {
+		p := ringProtocol(v)
+
+		single := RingCertSpec{Protocol: p, Single: true}
+		single.Cert.Name = fmt.Sprintf("mbox-%s", v)
+		n := MailboxNodes
+		set, err := BuildMailboxProcesses(v)
+		if err != nil {
+			return nil, fmt.Errorf("cert %s: %w", single.Cert.Name, err)
+		}
+		if err := certCommon(&single.Cert, p, n); err != nil {
+			return nil, fmt.Errorf("cert %s: %w", single.Cert.Name, err)
+		}
+		single.Cert.Nodes = make([]imglint.RingNode, n)
+		for i := 0; i < n; i++ {
+			single.Cert.Nodes[i] = certNode(p, set, i, n, i)
+			single.Cert.Nodes[i].Image.Name = fmt.Sprintf("%s-%d", single.Cert.Name, i)
+		}
+		specs = append(specs, single)
+
+		for n := 2; n <= MaxMailboxNodes; n++ {
+			fleet := RingCertSpec{Protocol: p}
+			fleet.Cert.Name = fmt.Sprintf("mbox-%s-n%d", v, n)
+			if err := certCommon(&fleet.Cert, p, n); err != nil {
+				return nil, fmt.Errorf("cert %s: %w", fleet.Cert.Name, err)
+			}
+			fleet.Cert.Nodes = make([]imglint.RingNode, n)
+			for j := 0; j < n; j++ {
+				nset, err := BuildNodeProcesses(v, j, n)
+				if err != nil {
+					return nil, fmt.Errorf("cert %s node %d: %w", fleet.Cert.Name, j, err)
+				}
+				fleet.Cert.Nodes[j] = certNode(p, nset, j, n, 0)
+				fleet.Cert.Nodes[j].Image.Name = fmt.Sprintf("%s-node%d", fleet.Cert.Name, j)
+			}
+			specs = append(specs, fleet)
+		}
+	}
+	return specs, nil
+}

@@ -4,188 +4,348 @@ import (
 	"ssos/internal/isa"
 )
 
-// Constant propagation over the lifted CFG, used to prove the
-// no-ROM-targeting-stores invariant. The abstract domain is per-
-// register "known constant or unknown" (a flat lattice); the transfer
-// function mirrors the subset of the ISA the guest sources use to
-// establish segments (mov reg,imm / mov sreg,reg / arithmetic on
-// constants). The analysis is sound for the check's purpose: a store is
-// reported only when the segment (and, when needed, the offset) of its
-// target is *provably* a constant that lands in ROM. Unknown values
-// never produce findings.
+// Abstract interpretation over the lifted CFG, used to prove the
+// no-ROM-targeting-stores invariant (and, through the shared transfer
+// function, to drive the ranking-certificate walker in cert.go). PR 5
+// used a flat constant domain; this is the interval/set domain of
+// interval.go, which tracks bounded-but-not-constant values — the shape
+// every guest normalization sequence produces from an arbitrary word.
+//
+// The analysis is sound for the rom-store check's purpose: a store is
+// reported only when the *entire provable* target window of the store
+// intersects a ROM range. Unknown segments never produce findings;
+// narrower value abstractions only shrink the provable window, so the
+// domain upgrade can retire false positives but never invent one.
 
-// val is one abstract register value.
-type val struct {
-	known bool
-	v     uint16
-}
-
-// absState is the abstract register file.
+// absState is the abstract register file, plus one instruction of
+// cmp-operand tracking for conditional-branch refinement: cmpL/cmpR
+// remember which general register each cmp operand was read from (-1
+// when it was not a plain register), so the out-edges of an immediately
+// following jcc can narrow that register. Any other instruction clears
+// the tracking — in every guest source the cmp directly precedes its
+// jcc, and clearing keeps the state soundly conservative elsewhere.
 type absState struct {
-	regs  [isa.NumRegs]val
-	sregs [isa.NumSRegs]val
+	regs  [isa.NumRegs]aval
+	sregs [isa.NumSRegs]aval
+
+	cmpValid   bool
+	cmpL, cmpR int8
+	cmpLV      aval
+	cmpRV      aval
 }
 
-// meet joins two states element-wise: values survive only where both
-// sides agree.
-func (s absState) meet(o absState) absState {
-	var out absState
+// topState is the any-state entry abstraction.
+func topState() absState {
+	var s absState
 	for i := range s.regs {
-		if s.regs[i].known && o.regs[i].known && s.regs[i].v == o.regs[i].v {
-			out.regs[i] = s.regs[i]
-		}
+		s.regs[i] = avTop()
 	}
 	for i := range s.sregs {
-		if s.sregs[i].known && o.sregs[i].known && s.sregs[i].v == o.sregs[i].v {
-			out.sregs[i] = s.sregs[i]
-		}
-	}
-	return out
-}
-
-func (s absState) eq(o absState) bool { return s == o }
-
-// transfer applies one instruction to the abstract state.
-func transfer(in isa.Inst, s absState) absState {
-	setR := func(r uint8, v val) {
-		if int(r) < len(s.regs) {
-			s.regs[r] = v
-		}
-	}
-	setS := func(r uint8, v val) {
-		if int(r) < len(s.sregs) {
-			s.sregs[r] = v
-		}
-	}
-	getR := func(r uint8) val {
-		if int(r) < len(s.regs) {
-			return s.regs[r]
-		}
-		return val{}
-	}
-	getS := func(r uint8) val {
-		if int(r) < len(s.sregs) {
-			return s.sregs[r]
-		}
-		return val{}
-	}
-	binop := func(r uint8, rhs val, f func(a, b uint16) uint16) {
-		a := getR(r)
-		if a.known && rhs.known {
-			setR(r, val{true, f(a.v, rhs.v)})
-		} else {
-			setR(r, val{})
-		}
-	}
-
-	switch in.Op {
-	case isa.OpMovRI:
-		setR(in.R1, val{true, in.Imm})
-	case isa.OpMovRR:
-		setR(in.R1, getR(in.R2))
-	case isa.OpMovSR:
-		setS(in.R1, getR(in.R2))
-	case isa.OpMovRS:
-		setR(in.R1, getS(in.R2))
-	case isa.OpMovRM, isa.OpMovSM, isa.OpAddRM, isa.OpPopR, isa.OpPopS, isa.OpInI, isa.OpInDx:
-		// Loads and pops: destination unknown.
-		switch in.Op {
-		case isa.OpMovSM, isa.OpPopS:
-			setS(in.R1, val{})
-		case isa.OpInI, isa.OpInDx:
-			setR(uint8(isa.AX), val{})
-		default:
-			setR(in.R1, val{})
-		}
-	case isa.OpMovR8I, isa.OpMovR8R8:
-		// A byte-half write invalidates the containing word register.
-		if r8 := isa.Reg8(in.R1); r8.Valid() {
-			parent, _ := r8.Parent()
-			setR(uint8(parent), val{})
-		}
-	case isa.OpMulR8:
-		setR(uint8(isa.AX), val{})
-	case isa.OpAddRI:
-		binop(in.R1, val{true, in.Imm}, func(a, b uint16) uint16 { return a + b })
-	case isa.OpSubRI:
-		binop(in.R1, val{true, in.Imm}, func(a, b uint16) uint16 { return a - b })
-	case isa.OpAndRI:
-		binop(in.R1, val{true, in.Imm}, func(a, b uint16) uint16 { return a & b })
-	case isa.OpOrRI:
-		binop(in.R1, val{true, in.Imm}, func(a, b uint16) uint16 { return a | b })
-	case isa.OpShlRI:
-		binop(in.R1, val{true, in.Imm}, func(a, b uint16) uint16 { return a << (b & 15) })
-	case isa.OpShrRI:
-		binop(in.R1, val{true, in.Imm}, func(a, b uint16) uint16 { return a >> (b & 15) })
-	case isa.OpAddRR:
-		binop(in.R1, getR(in.R2), func(a, b uint16) uint16 { return a + b })
-	case isa.OpSubRR:
-		binop(in.R1, getR(in.R2), func(a, b uint16) uint16 { return a - b })
-	case isa.OpAndRR:
-		binop(in.R1, getR(in.R2), func(a, b uint16) uint16 { return a & b })
-	case isa.OpOrRR:
-		binop(in.R1, getR(in.R2), func(a, b uint16) uint16 { return a | b })
-	case isa.OpXorRR:
-		if in.R1 == in.R2 {
-			setR(in.R1, val{true, 0})
-		} else {
-			binop(in.R1, getR(in.R2), func(a, b uint16) uint16 { return a ^ b })
-		}
-	case isa.OpIncR:
-		binop(in.R1, val{true, 1}, func(a, b uint16) uint16 { return a + b })
-	case isa.OpDecR:
-		binop(in.R1, val{true, 1}, func(a, b uint16) uint16 { return a - b })
-	case isa.OpLea:
-		base := val{true, in.Mem.Disp}
-		if r, ok := in.Mem.Base.Reg(); ok {
-			b := getR(uint8(r))
-			if !b.known {
-				base = val{}
-			} else {
-				base = val{true, base.v + b.v}
-			}
-		}
-		setR(in.R1, base)
-	case isa.OpMovsb, isa.OpLodsb:
-		setR(uint8(isa.SI), advance(getR(uint8(isa.SI))))
-		if in.Op == isa.OpMovsb {
-			setR(uint8(isa.DI), advance(getR(uint8(isa.DI))))
-		} else {
-			setR(uint8(isa.AX), val{})
-		}
-	case isa.OpStosb:
-		setR(uint8(isa.DI), advance(getR(uint8(isa.DI))))
-	case isa.OpRepMovsb:
-		setR(uint8(isa.SI), val{})
-		setR(uint8(isa.DI), val{})
-		setR(uint8(isa.CX), val{true, 0})
-	case isa.OpInt:
-		// A software-interrupt handler may clobber anything.
-		return absState{}
-	case isa.OpCall:
-		setR(uint8(isa.SP), val{})
-	case isa.OpPushR, isa.OpPushI, isa.OpPushS, isa.OpPushf, isa.OpPopf:
-		setR(uint8(isa.SP), val{})
+		s.sregs[i] = avTop()
 	}
 	return s
 }
 
-// advance models a string op's pointer step with unknown direction
-// flag: the register stays unknown (DF may be either way from an
-// arbitrary configuration).
-func advance(v val) val { return val{} }
+func (s absState) eq(o absState) bool {
+	for i := range s.regs {
+		if !s.regs[i].eq(o.regs[i]) {
+			return false
+		}
+	}
+	for i := range s.sregs {
+		if !s.sregs[i].eq(o.sregs[i]) {
+			return false
+		}
+	}
+	if s.cmpValid != o.cmpValid {
+		return false
+	}
+	if s.cmpValid {
+		if s.cmpL != o.cmpL || s.cmpR != o.cmpR ||
+			!s.cmpLV.eq(o.cmpLV) || !s.cmpRV.eq(o.cmpRV) {
+			return false
+		}
+	}
+	return true
+}
+
+// joinState joins element-wise; cmp tracking survives only when both
+// sides carry the identical comparison.
+func (s absState) joinState(o absState, widen bool) absState {
+	var out absState
+	for i := range s.regs {
+		if widen {
+			out.regs[i] = s.regs[i].widen(o.regs[i])
+		} else {
+			out.regs[i] = s.regs[i].join(o.regs[i])
+		}
+	}
+	for i := range s.sregs {
+		if widen {
+			out.sregs[i] = s.sregs[i].widen(o.sregs[i])
+		} else {
+			out.sregs[i] = s.sregs[i].join(o.sregs[i])
+		}
+	}
+	if s.cmpValid && o.cmpValid && s.cmpL == o.cmpL && s.cmpR == o.cmpR {
+		out.cmpValid = true
+		out.cmpL, out.cmpR = s.cmpL, s.cmpR
+		out.cmpLV = s.cmpLV.join(o.cmpLV)
+		out.cmpRV = s.cmpRV.join(o.cmpRV)
+	}
+	return out
+}
+
+func (s *absState) getR(r uint8) aval {
+	if int(r) < len(s.regs) {
+		return s.regs[r]
+	}
+	return avTop()
+}
+
+func (s *absState) setR(r uint8, v aval) {
+	if int(r) < len(s.regs) {
+		s.regs[r] = v
+		// A write to a tracked cmp operand invalidates the tracking.
+		if s.cmpValid && (int8(r) == s.cmpL || int8(r) == s.cmpR) {
+			s.cmpValid = false
+		}
+	}
+}
+
+func (s *absState) getS(r uint8) aval {
+	if int(r) < len(s.sregs) {
+		return s.sregs[r]
+	}
+	return avTop()
+}
+
+func (s *absState) setS(r uint8, v aval) {
+	if int(r) < len(s.sregs) {
+		s.sregs[r] = v
+	}
+}
+
+// transfer applies one instruction to the abstract register state.
+// Memory is not tracked here (loads produce top): the global fixpoint
+// must stay sound for arbitrary images whose stores it cannot resolve.
+// The certificate walker layers word-tracked memory on top (cert.go).
+func transfer(in isa.Inst, s absState) absState {
+	clearCmp := true
+	binop := func(r uint8, rhs aval, f func(a, b aval) aval) {
+		s.setR(r, f(s.getR(r), rhs))
+	}
+
+	switch in.Op {
+	case isa.OpNop, isa.OpCld, isa.OpStd, isa.OpSti, isa.OpCli,
+		isa.OpOutI, isa.OpOutDx, isa.OpWPSet,
+		isa.OpJmp, isa.OpJmpFar, isa.OpJe, isa.OpJne, isa.OpJb, isa.OpJbe, isa.OpJa, isa.OpJae:
+		// No register effect. Conditional jumps preserve cmp tracking so
+		// edge refinement (refineEdge) can use it, and nop preserves it
+		// because slot padding places nop runs between a cmp and its jcc
+		// (nop does not touch the flags).
+		switch in.Op {
+		case isa.OpNop, isa.OpJe, isa.OpJne, isa.OpJb, isa.OpJbe, isa.OpJa, isa.OpJae:
+			clearCmp = false
+		}
+	case isa.OpCmpRR:
+		s.cmpValid = true
+		s.cmpL, s.cmpR = int8(in.R1), int8(in.R2)
+		s.cmpLV, s.cmpRV = s.getR(in.R1), s.getR(in.R2)
+		clearCmp = false
+	case isa.OpCmpRI:
+		s.cmpValid = true
+		s.cmpL, s.cmpR = int8(in.R1), -1
+		s.cmpLV, s.cmpRV = s.getR(in.R1), avConst(in.Imm)
+		clearCmp = false
+	case isa.OpCmpRM:
+		s.cmpValid = true
+		s.cmpL, s.cmpR = int8(in.R1), -1
+		s.cmpLV, s.cmpRV = s.getR(in.R1), avTop()
+		clearCmp = false
+	case isa.OpMovRI:
+		s.setR(in.R1, avConst(in.Imm))
+	case isa.OpMovRR:
+		s.setR(in.R1, s.getR(in.R2))
+	case isa.OpMovSR:
+		s.setS(in.R1, s.getR(in.R2))
+	case isa.OpMovRS:
+		s.setR(in.R1, s.getS(in.R2))
+	case isa.OpMovRM, isa.OpAddRM, isa.OpPopR, isa.OpInI, isa.OpInDx:
+		switch in.Op {
+		case isa.OpInI, isa.OpInDx:
+			s.setR(uint8(isa.AX), avTop())
+		default:
+			s.setR(in.R1, avTop())
+		}
+	case isa.OpMovSM, isa.OpPopS:
+		s.setS(in.R1, avTop())
+	case isa.OpMovR8I, isa.OpMovR8R8:
+		// A byte-half write invalidates the containing word register.
+		if r8 := isa.Reg8(in.R1); r8.Valid() {
+			parent, _ := r8.Parent()
+			s.setR(uint8(parent), avTop())
+		}
+	case isa.OpMulR8:
+		s.setR(uint8(isa.AX), avTop())
+	case isa.OpAddRI:
+		binop(in.R1, avConst(in.Imm), avAdd)
+	case isa.OpSubRI:
+		binop(in.R1, avConst(in.Imm), avSub)
+	case isa.OpAndRI:
+		binop(in.R1, avConst(in.Imm), avAnd)
+	case isa.OpOrRI:
+		binop(in.R1, avConst(in.Imm), avOr)
+	case isa.OpShlRI:
+		s.setR(in.R1, avShl(s.getR(in.R1), in.Imm))
+	case isa.OpShrRI:
+		s.setR(in.R1, avShr(s.getR(in.R1), in.Imm))
+	case isa.OpAddRR:
+		binop(in.R1, s.getR(in.R2), avAdd)
+	case isa.OpSubRR:
+		binop(in.R1, s.getR(in.R2), avSub)
+	case isa.OpAndRR:
+		binop(in.R1, s.getR(in.R2), avAnd)
+	case isa.OpOrRR:
+		binop(in.R1, s.getR(in.R2), avOr)
+	case isa.OpXorRR:
+		if in.R1 == in.R2 {
+			s.setR(in.R1, avConst(0))
+		} else {
+			binop(in.R1, s.getR(in.R2), avXor)
+		}
+	case isa.OpIncR:
+		binop(in.R1, avConst(1), avAdd)
+	case isa.OpDecR:
+		binop(in.R1, avConst(1), avSub)
+	case isa.OpLea:
+		base := avConst(in.Mem.Disp)
+		if r, ok := in.Mem.Base.Reg(); ok {
+			base = avAdd(base, s.getR(uint8(r)))
+		}
+		s.setR(in.R1, base)
+	case isa.OpMovsb, isa.OpLodsb:
+		// Pointer step with unknown direction flag: unknown.
+		s.setR(uint8(isa.SI), avTop())
+		if in.Op == isa.OpMovsb {
+			s.setR(uint8(isa.DI), avTop())
+		} else {
+			s.setR(uint8(isa.AX), avTop())
+		}
+	case isa.OpStosb:
+		s.setR(uint8(isa.DI), avTop())
+	case isa.OpRepMovsb:
+		s.setR(uint8(isa.SI), avTop())
+		s.setR(uint8(isa.DI), avTop())
+		s.setR(uint8(isa.CX), avConst(0))
+	case isa.OpInt:
+		// A software-interrupt handler may clobber anything.
+		return topState()
+	case isa.OpCall:
+		s.setR(uint8(isa.SP), avTop())
+	case isa.OpPushR, isa.OpPushI, isa.OpPushS, isa.OpPushf, isa.OpPopf:
+		s.setR(uint8(isa.SP), avTop())
+	}
+	if clearCmp {
+		s.cmpValid = false
+	}
+	return s
+}
+
+// jccRelation maps a conditional-jump opcode to the relation that holds
+// on its taken edge (unsigned comparisons, matching the machine's
+// flags).
+func jccRelation(op isa.Op) (rel string, ok bool) {
+	switch op {
+	case isa.OpJe:
+		return "eq", true
+	case isa.OpJne:
+		return "ne", true
+	case isa.OpJb:
+		return "b", true
+	case isa.OpJbe:
+		return "be", true
+	case isa.OpJa:
+		return "a", true
+	case isa.OpJae:
+		return "ae", true
+	}
+	return "", false
+}
+
+// negateRel returns the relation holding on the fall-through edge.
+func negateRel(rel string) string {
+	switch rel {
+	case "eq":
+		return "ne"
+	case "ne":
+		return "eq"
+	case "b":
+		return "ae"
+	case "ae":
+		return "b"
+	case "be":
+		return "a"
+	case "a":
+		return "be"
+	}
+	return rel
+}
+
+// refineEdge narrows the state flowing along one out-edge of a
+// conditional jump, using the tracked cmp operands. taken selects the
+// jump-taken edge (the relation holds) vs the fall-through (its
+// negation holds).
+func refineEdge(s absState, op isa.Op, taken bool) absState {
+	rel, ok := jccRelation(op)
+	if !ok || !s.cmpValid {
+		return s
+	}
+	if !taken {
+		rel = negateRel(rel)
+	}
+	if s.cmpL >= 0 {
+		s.regs[s.cmpL] = refine(s.cmpLV, s.cmpRV, rel)
+	}
+	if s.cmpR >= 0 {
+		s.regs[s.cmpR] = refine(s.cmpRV, s.cmpLV, negateSides(rel))
+	}
+	s.cmpValid = false
+	return s
+}
+
+// negateSides converts `a rel b` into the relation `b rel' a`.
+func negateSides(rel string) string {
+	switch rel {
+	case "b":
+		return "a"
+	case "a":
+		return "b"
+	case "be":
+		return "ae"
+	case "ae":
+		return "be"
+	}
+	return rel // eq and ne are symmetric
+}
+
+// widenAfter is the per-offset join budget of the fixpoint: past this
+// many state updates at one offset, joins switch to widening so the
+// tall interval lattice cannot produce long ascending chains.
+const widenAfter = 8
 
 // fixpoint computes per-offset input states by forward propagation to a
-// fixed point.
+// fixed point, refining conditional-branch edges.
 func fixpoint(g *graph) map[int]absState {
 	in := map[int]absState{}
 	seen := map[int]bool{}
+	updates := map[int]int{}
 	var work []int
 	for _, e := range g.entries {
 		if _, ok := g.nodes[e]; !ok {
 			continue
 		}
-		in[e] = absState{} // all unknown at entry
+		in[e] = topState() // any machine state at entry
 		seen[e] = true
 		work = append(work, e)
 	}
@@ -194,28 +354,36 @@ func fixpoint(g *graph) map[int]absState {
 		work = work[:len(work)-1]
 		n := g.nodes[off]
 		out := transfer(n.inst, in[off])
-		for _, s := range n.succs {
-			if _, ok := g.nodes[s]; !ok {
+		_, conditional := jccRelation(n.inst.Op)
+		for si, succ := range n.succs {
+			if _, ok := g.nodes[succ]; !ok {
 				continue
 			}
-			var next absState
-			if seen[s] {
-				next = in[s].meet(out)
-			} else {
-				next = out
+			edge := out
+			if conditional {
+				// lift appends the taken edge first, the fall-through
+				// second (cfg.go).
+				edge = refineEdge(in[off], n.inst.Op, si == 0)
 			}
-			if !seen[s] || !next.eq(in[s]) {
-				in[s] = next
-				seen[s] = true
-				work = append(work, s)
+			var next absState
+			if seen[succ] {
+				next = in[succ].joinState(edge, updates[succ] > widenAfter)
+			} else {
+				next = edge
+			}
+			if !seen[succ] || !next.eq(in[succ]) {
+				in[succ] = next
+				seen[succ] = true
+				updates[succ]++
+				work = append(work, succ)
 			}
 		}
 	}
 	return in
 }
 
-// checkStores runs the constant propagation and reports every store
-// whose target provably intersects a ROM range.
+// checkStores runs the abstract interpretation and reports every store
+// whose entire provable target window intersects a ROM range.
 func checkStores(img *Image, g *graph, report func(string, int, string, ...any)) {
 	states := fixpoint(g)
 	for _, off := range g.order {
@@ -224,7 +392,7 @@ func checkStores(img *Image, g *graph, report func(string, int, string, ...any))
 		if !ok {
 			continue
 		}
-		lo, hi, known := storeTarget(n.inst, s)
+		lo, hi, known := storeTarget(n.inst, &s)
 		if !known {
 			continue
 		}
@@ -237,48 +405,56 @@ func checkStores(img *Image, g *graph, report func(string, int, string, ...any))
 	}
 }
 
-// storeTarget returns the linear byte range a store instruction writes,
-// when the abstract state pins it down. For a known segment with an
-// unknown offset the range widens to the segment's full 64 KiB window —
-// still a proof, since real-mode offsets cannot leave it.
-func storeTarget(in isa.Inst, s absState) (lo, hi uint32, known bool) {
-	segWindow := func(seg val) (uint32, uint32, bool) {
-		if !seg.known {
+// storeTarget returns the linear byte range a store instruction may
+// write, when the abstract state pins the segment down. A bounded
+// offset narrows the window; an unbounded one widens it to the
+// segment's full 64 KiB window — still a proof, since real-mode offsets
+// cannot leave it.
+func storeTarget(in isa.Inst, s *absState) (lo, hi uint32, known bool) {
+	segWindow := func(seg aval) (uint32, uint32, bool) {
+		sv, ok := seg.constVal()
+		if !ok {
 			return 0, 0, false
 		}
-		base := uint32(seg.v) << 4
+		base := uint32(sv) << 4
 		return base, base + 0x10000, true
 	}
 	memTarget := func(m isa.MemOp, width uint32) (uint32, uint32, bool) {
-		seg := s.sregs[m.Seg]
-		if !seg.known {
+		seg := s.getS(uint8(m.Seg))
+		sv, ok := seg.constVal()
+		if !ok {
 			return 0, 0, false
 		}
-		off := val{true, m.Disp}
-		if r, ok := m.Base.Reg(); ok {
-			b := s.regs[r]
-			if !b.known {
-				return segWindow(seg)
-			}
-			off = val{true, off.v + b.v}
+		off := avConst(m.Disp)
+		if r, rok := m.Base.Reg(); rok {
+			off = avAdd(off, s.getR(uint8(r)))
 		}
-		base := uint32(seg.v)<<4 + uint32(off.v)
-		return base, base + width, true
+		if off.isTop() {
+			return segWindow(seg)
+		}
+		olo, ohi := off.bounds()
+		base := uint32(sv) << 4
+		return base + uint32(olo), base + uint32(ohi) + width, true
 	}
 
 	switch in.Op {
 	case isa.OpMovMR, isa.OpMovMI, isa.OpMovMS:
 		return memTarget(in.Mem, 2)
 	case isa.OpStosb:
-		seg := s.sregs[isa.ES]
-		di := s.regs[isa.DI]
-		if seg.known && di.known {
-			base := uint32(seg.v)<<4 + uint32(di.v)
-			return base, base + 1, true
+		seg := s.getS(uint8(isa.ES))
+		sv, ok := seg.constVal()
+		if !ok {
+			return 0, 0, false
 		}
-		return segWindow(seg)
+		di := s.getR(uint8(isa.DI))
+		if di.isTop() {
+			return segWindow(seg)
+		}
+		dlo, dhi := di.bounds()
+		base := uint32(sv) << 4
+		return base + uint32(dlo), base + uint32(dhi) + 1, true
 	case isa.OpMovsb, isa.OpRepMovsb:
-		return segWindow(s.sregs[isa.ES])
+		return segWindow(s.getS(uint8(isa.ES)))
 	}
 	return 0, 0, false
 }

@@ -1,0 +1,809 @@
+package imglint
+
+import (
+	"fmt"
+
+	"ssos/internal/isa"
+)
+
+// Ranking-certificate checker: a static convergence prover for mailbox
+// token-ring guest images.
+//
+// A certificate (RingCert) names N node images, the shared ring slots
+// they own, each slot's canonical value domain, and a declared variant
+// function over ring configurations (in practice the exact
+// steps-to-legal height of the declared protocol model). The checker
+// proves, from the shipped ROM bytes alone:
+//
+//  1. Termination discipline (graph obligations): lifting each image's
+//     CFG from EVERY slot boundary — the arbitrary entry points the
+//     scheduler's ip masking can construct — yields a graph whose only
+//     cycles pass through offset 0 and that contains no instruction
+//     that could park or escape (hlt, iret, ret, int, call, loop,
+//     byte-string ops). So an arbitrary mid-image entry always reaches
+//     the iteration head within one pass.
+//
+//  2. Normalization discipline (fork walk): one abstract loop
+//     iteration from offset 0 with arbitrary registers and arbitrary
+//     slot contents (top). Every store must target the node's own slot
+//     or its own data window, every own-slot store must land inside
+//     the slot's canonical domain, every conditional branch must test
+//     values the abstraction has bounded (i.e. values that passed a
+//     normalization sequence — a branch on an unnormalized word would
+//     make behaviour depend on unobservable state), and every path
+//     must return to offset 0. This is the soundness premise under
+//     which the node's observable behaviour factors through the
+//     canonical domains.
+//
+//  3. Move extraction (singleton walks): for every canonical
+//     (self, left, right) triple, an abstract iteration with those
+//     singleton slot values. All branches decide, so the walk is
+//     deterministic and yields the node's exact move: whether it
+//     writes its slot and which value. The extracted table is the
+//     transition relation OF THE BYTES, checked against the declared
+//     protocol moves when the certificate supplies them.
+//
+//  4. Ranking (product): over the product of the canonical domains,
+//     the extracted relation must keep the declared legal set closed
+//     and strictly decrease the declared variant on every step out of
+//     an illegal state, with no illegal deadlock. The longest illegal
+//     path is then finite and computed exactly by DP — a
+//     machine-checked steps-to-legal bound for the shipped images.
+//
+// The reported bound adds N grace steps to the ranked bound: an
+// arbitrary mid-image entry can execute at most one stray pass per
+// node before reaching the iteration head (obligation 1), and a stray
+// pass with arbitrary registers is equivalent to one more adversarial
+// fault — self-stabilization from an arbitrary state absorbs it, at
+// the price of one activation per node (the same sequential
+// composition argument PR 8's layered bound uses).
+//
+// Known incompletenesses are documented in DESIGN.md: the certificate
+// is at composite atomicity (the read/write-atomicity refinement is
+// covered by the model's delay systems and the dynamic stuttering-
+// refinement tests), and state spaces past MaxStates get obligations
+// 1-3 only (Mode "local").
+
+// RingNode is one certified node image and its footprint.
+type RingNode struct {
+	// Image is the node's ROM image spec (Bytes, Seg, CodeEnd used).
+	Image Image
+	// Slot is the index (into RingCert.Slots) of the slot this node
+	// owns — the only slot it may write.
+	Slot int
+	// Left and Right are the slot indices the node reads, -1 for an
+	// unused side. A two-node ring may read the same slot on both
+	// sides.
+	Left, Right int
+	// DataLo, DataHi bound the node's private data window (linear
+	// addresses, half-open): scratch stores land here.
+	DataLo, DataHi uint32
+}
+
+// RingCert is a convergence certificate for a ring of node images.
+type RingCert struct {
+	// Name labels the certificate and its findings.
+	Name string
+	// N is the ring size; Nodes and Slots both have N entries.
+	N int
+	// Slots are the linear addresses of the shared ring slots.
+	Slots []uint32
+	// Domains are the canonical value domains per slot, ascending.
+	Domains [][]uint16
+	// Nodes are the certified images.
+	Nodes []RingNode
+
+	// Moves, when non-nil, is the declared protocol move of node i on a
+	// canonical triple; the extracted moves must match exactly.
+	Moves func(node int, self, left, right uint16) (write bool, value uint16)
+	// Legal is the declared legal set over canonical configurations.
+	Legal func(x []uint16) bool
+	// Variant is the declared ranking function (0 on legal states);
+	// nil selects Mode "local" (obligations only, no product).
+	Variant func(x []uint16) int
+	// Slack is the declared gap allowed between the static bound and
+	// the model's exact worst case (the consistency tests assert
+	// static <= exact + Slack).
+	Slack int
+	// MaxStates caps the product enumeration; larger spaces fall back
+	// to Mode "local". 0 means DefaultMaxStates.
+	MaxStates int
+}
+
+// DefaultMaxStates is the product-enumeration cap.
+const DefaultMaxStates = 200_000
+
+// CertResult is the outcome of checking one certificate.
+type CertResult struct {
+	// Name and N echo the certificate.
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	// Mode is "ranking" (full product certificate) or "local"
+	// (per-image obligations only).
+	Mode string `json:"mode"`
+	// States is the product state count ("ranking" mode only).
+	States int `json:"states"`
+	// RankBound is the longest illegal path of the extracted relation;
+	// Bound adds the N-step mid-entry grace. Both are -1 in "local"
+	// mode or when findings prevented ranking.
+	RankBound int `json:"rank_bound"`
+	Bound     int `json:"bound"`
+	// Findings are the violated obligations (empty for a proved
+	// certificate).
+	Findings []Finding `json:"findings,omitempty"`
+}
+
+// Proved reports whether the certificate checked out: no findings,
+// and in ranking mode a finite bound.
+func (r CertResult) Proved() bool {
+	if len(r.Findings) != 0 {
+		return false
+	}
+	return r.Mode == "local" || r.Bound >= 0
+}
+
+// walk budgets. A slot-padded iteration is ~45 instructions spread
+// over 16-byte slots (so ~16 CFG nodes each including nop padding);
+// the budgets are an order of magnitude above.
+const (
+	walkMaxSteps = 8192 // abstract steps per path
+	walkMaxForks = 512  // live paths per fork walk
+)
+
+// certEnv is the per-node walking context.
+type certEnv struct {
+	cert   *RingCert
+	node   *RingNode
+	g      *graph
+	report func(check string, off int, format string, args ...any)
+}
+
+// move is one extracted node behaviour.
+type move struct {
+	write bool
+	value uint16
+}
+
+// moveKey packs a canonical triple.
+func moveKey(self, left, right uint16) uint64 {
+	return uint64(self)<<32 | uint64(left)<<16 | uint64(right)
+}
+
+// wpath is one in-flight abstract walk path.
+type wpath struct {
+	off    int
+	st     absState
+	mem    map[uint32]aval // node data-window words written this pass
+	writes []aval          // own-slot stores, in order
+	steps  int
+}
+
+func (w *wpath) clone() *wpath {
+	mem := make(map[uint32]aval, len(w.mem))
+	for k, v := range w.mem {
+		mem[k] = v
+	}
+	return &wpath{
+		off:    w.off,
+		st:     w.st,
+		mem:    mem,
+		writes: append([]aval(nil), w.writes...),
+		steps:  w.steps,
+	}
+}
+
+// CheckRingCert verifies one certificate. It never panics; malformed
+// certificates and violating images yield findings.
+func CheckRingCert(c RingCert) CertResult {
+	res := CertResult{Name: c.Name, N: c.N, Mode: "local", RankBound: -1, Bound: -1}
+	report := func(image, check string, off int, format string, args ...any) {
+		res.Findings = append(res.Findings, Finding{
+			Image:  image,
+			Check:  check,
+			Offset: off,
+			Msg:    fmt.Sprintf(format, args...),
+		})
+	}
+
+	if c.N < 1 || len(c.Nodes) != c.N || len(c.Slots) != c.N || len(c.Domains) != c.N {
+		report(c.Name, "cert-spec", -1, "certificate needs N=%d nodes, slots and domains (got %d/%d/%d)",
+			c.N, len(c.Nodes), len(c.Slots), len(c.Domains))
+		return res
+	}
+	for i := range c.Domains {
+		if len(c.Domains[i]) == 0 {
+			report(c.Name, "cert-spec", -1, "slot %d has an empty domain", i)
+			return res
+		}
+	}
+
+	// Per-node obligations and move extraction.
+	moves := make([]map[uint64]move, c.N)
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if n.Slot < 0 || n.Slot >= c.N {
+			report(n.Image.Name, "cert-spec", -1, "node %d owns out-of-range slot %d", i, n.Slot)
+			return res
+		}
+		env, ok := liftCertGraph(c, n, report)
+		if !ok {
+			continue
+		}
+		env.checkGraphObligations()
+		env.forkWalk()
+		moves[i] = env.extractMoves(i)
+	}
+	if len(res.Findings) > 0 {
+		return res
+	}
+
+	// Product ranking.
+	maxStates := c.MaxStates
+	if maxStates == 0 {
+		maxStates = DefaultMaxStates
+	}
+	states := 1
+	for _, d := range c.Domains {
+		if states > maxStates/len(d)+1 {
+			states = maxStates + 1
+			break
+		}
+		states *= len(d)
+	}
+	if c.Variant == nil || c.Legal == nil || states > maxStates {
+		return res // Mode "local": obligations proved, no product bound
+	}
+	res.Mode = "ranking"
+	res.States = states
+	rankProduct(&c, moves, &res, report)
+	return res
+}
+
+// liftCertGraph lifts a node image's CFG from every slot boundary —
+// the entry set the scheduler's ip masking can reach.
+func liftCertGraph(c RingCert, n *RingNode, report func(string, string, int, string, ...any)) (*certEnv, bool) {
+	img := n.Image // copy: we augment the entry set
+	if len(img.Bytes) == 0 {
+		report(img.Name, "cert-spec", -1, "node image is empty")
+		return nil, false
+	}
+	ce := img.codeEnd()
+	if ce > len(img.Bytes) {
+		report(img.Name, "cert-spec", -1, "CodeEnd %#x exceeds image size %#x", ce, len(img.Bytes))
+		return nil, false
+	}
+	var entries []Entry
+	for off := 0; off < ce; off += isa.SlotSize {
+		entries = append(entries, Entry{Name: "slot", Off: uint16(off)})
+	}
+	img.Entries = entries
+	rep := func(check string, off int, format string, args ...any) {
+		report(img.Name, check, off, format, args...)
+	}
+	g := lift(&img, ce, rep)
+	if _, ok := g.nodes[0]; !ok {
+		rep("cert-entry", 0, "iteration head (offset 0) is not a decodable instruction")
+		return nil, false
+	}
+	return &certEnv{cert: &c, node: n, g: g, report: rep}, true
+}
+
+// checkGraphObligations proves mid-entry termination: no parking or
+// escaping instruction anywhere reachable, and every cycle passes
+// through offset 0 (the graph minus node 0 is acyclic), so any entry
+// reaches the iteration head within one acyclic pass.
+func (e *certEnv) checkGraphObligations() {
+	for _, off := range e.g.order {
+		switch e.g.nodes[off].inst.Op {
+		case isa.OpHlt, isa.OpIret, isa.OpRet, isa.OpInt, isa.OpCall, isa.OpLoop,
+			isa.OpMovsb, isa.OpStosb, isa.OpLodsb, isa.OpRepMovsb:
+			e.report("cert-termination", off, "certified image uses forbidden instruction %q",
+				e.g.nodes[off].inst.Op.Mnemonic())
+		}
+	}
+	// Cycle check over the graph with node 0 removed: iterative DFS
+	// with colours (0 white, 1 on stack, 2 done).
+	colour := map[int]uint8{}
+	var stack []int
+	for _, root := range e.g.order {
+		if root == 0 || colour[root] != 0 {
+			continue
+		}
+		stack = append(stack[:0], root)
+		for len(stack) > 0 {
+			off := stack[len(stack)-1]
+			if colour[off] == 0 {
+				colour[off] = 1
+				for _, s := range e.g.nodes[off].succs {
+					if s == 0 {
+						continue
+					}
+					if _, ok := e.g.nodes[s]; !ok {
+						continue
+					}
+					switch colour[s] {
+					case 0:
+						stack = append(stack, s)
+					case 1:
+						e.report("cert-termination", off,
+							"cycle avoiding the iteration head: back edge to %#x", s)
+						colour[s] = 2
+					}
+				}
+			} else {
+				colour[off] = 2
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+}
+
+// readMem resolves one abstract memory read.
+func (e *certEnv) readMem(p *wpath, m isa.MemOp, slotVals []aval) aval {
+	lin, ok := e.resolve(&p.st, m)
+	if !ok {
+		return avTop()
+	}
+	for j, addr := range e.cert.Slots {
+		if lin == addr {
+			// The node's own slot reflects its own earlier write (the
+			// discipline writes it at most once, at the end, but stay
+			// exact anyway).
+			if j == e.node.Slot && len(p.writes) > 0 {
+				return p.writes[len(p.writes)-1]
+			}
+			return slotVals[j]
+		}
+	}
+	if lin >= e.node.DataLo && lin+1 < e.node.DataHi {
+		if v, ok := p.mem[lin]; ok {
+			return v
+		}
+	}
+	return avTop()
+}
+
+// resolve turns a memory operand into a linear address when the
+// abstract state pins both segment and offset to constants.
+func (e *certEnv) resolve(st *absState, m isa.MemOp) (uint32, bool) {
+	sv, ok := st.getS(uint8(m.Seg)).constVal()
+	if !ok {
+		return 0, false
+	}
+	off := avConst(m.Disp)
+	if r, rok := m.Base.Reg(); rok {
+		off = avAdd(off, st.getR(uint8(r)))
+	}
+	ov, ok := off.constVal()
+	if !ok {
+		return 0, false
+	}
+	return uint32(sv)<<4 + uint32(ov), true
+}
+
+// writeMem applies one abstract store, enforcing write confinement and
+// the own-slot domain.
+func (e *certEnv) writeMem(p *wpath, off int, m isa.MemOp, v aval) {
+	lin, ok := e.resolve(&p.st, m)
+	if !ok {
+		e.report("cert-confinement", off, "store with unresolvable target (segment or offset not provably constant)")
+		return
+	}
+	for j, addr := range e.cert.Slots {
+		// The 2-byte store [lin, lin+1] vs the slot word [addr, addr+1].
+		if lin+1 < addr || lin > addr+1 {
+			continue
+		}
+		if lin == addr && j == e.node.Slot {
+			dom := e.cert.Domains[j]
+			if !v.subsetOfWords(dom) {
+				e.report("cert-domain", off, "own-slot store not confined to the canonical domain %v", dom)
+			}
+			p.writes = append(p.writes, v)
+			return
+		}
+		e.report("cert-confinement", off, "store overlaps slot %d at %#06x, owned by another node", j, addr)
+		return
+	}
+	if lin >= e.node.DataLo && lin+1 < e.node.DataHi {
+		p.mem[lin] = v
+		return
+	}
+	e.report("cert-confinement", off, "store to %#06x outside the node's slot and data window [%#06x,%#06x)",
+		lin, e.node.DataLo, e.node.DataHi)
+}
+
+// step executes one abstract instruction on path p, returning the
+// successor paths (forking on undecided branches when fork is true).
+// A nil return ends the path; done is set when the path has completed
+// the iteration (reached offset 0 again).
+func (e *certEnv) step(p *wpath, slotVals []aval, fork bool) (succs []*wpath, done bool) {
+	n := e.g.nodes[p.off]
+	in := n.inst
+	p.steps++
+	if p.steps > walkMaxSteps {
+		e.report("cert-termination", p.off, "abstract walk exceeded %d steps without completing the iteration", walkMaxSteps)
+		return nil, false
+	}
+
+	// Memory-aware effects first; everything else delegates to the
+	// shared transfer function.
+	switch in.Op {
+	case isa.OpMovRM:
+		v := e.readMem(p, in.Mem, slotVals)
+		p.st.setR(in.R1, v)
+		p.st.cmpValid = false
+	case isa.OpAddRM:
+		v := e.readMem(p, in.Mem, slotVals)
+		p.st.setR(in.R1, avAdd(p.st.getR(in.R1), v))
+		p.st.cmpValid = false
+	case isa.OpCmpRM:
+		v := e.readMem(p, in.Mem, slotVals)
+		p.st.cmpValid = true
+		p.st.cmpL, p.st.cmpR = int8(in.R1), -1
+		p.st.cmpLV, p.st.cmpRV = p.st.getR(in.R1), v
+	case isa.OpMovMR:
+		e.writeMem(p, p.off, in.Mem, p.st.getR(in.R1))
+	case isa.OpMovMI:
+		e.writeMem(p, p.off, in.Mem, avConst(in.Imm))
+	case isa.OpMovMS:
+		e.writeMem(p, p.off, in.Mem, p.st.getS(in.R1))
+	case isa.OpMovSM:
+		p.st.setS(in.R1, e.readMem(p, in.Mem, slotVals))
+	default:
+		p.st = transfer(in, p.st)
+	}
+
+	// Successor selection.
+	rel, conditional := jccRelation(in.Op)
+	if !conditional {
+		if len(n.succs) == 0 {
+			e.report("cert-termination", p.off, "path ends without returning to the iteration head")
+			return nil, false
+		}
+		next := n.succs[0]
+		if next == 0 {
+			return nil, true
+		}
+		if _, ok := e.g.nodes[next]; !ok {
+			return nil, false // lift already reported it
+		}
+		p.off = next
+		return []*wpath{p}, false
+	}
+
+	// Conditional: decide (or fork) on the tracked cmp operands.
+	if !p.st.cmpValid {
+		e.report("cert-normalization", p.off, "conditional branch without a tracked cmp in view")
+		return nil, false
+	}
+	if p.st.cmpLV.isTop() || p.st.cmpRV.isTop() {
+		e.report("cert-normalization", p.off, "conditional branch on an unnormalized (unbounded) value")
+		return nil, false
+	}
+	takenOK := feasible(p.st.cmpLV, p.st.cmpRV, rel)
+	fallOK := feasible(p.st.cmpLV, p.st.cmpRV, negateRel(rel))
+	if takenOK && fallOK && !fork {
+		e.report("cert-extraction", p.off, "branch undecided on a canonical singleton input — behaviour depends on unobservable state")
+		return nil, false
+	}
+	follow := func(p *wpath, si int, taken bool) (*wpath, bool) {
+		if si >= len(n.succs) {
+			return nil, false
+		}
+		next := n.succs[si]
+		p.st = refineEdge(p.st, in.Op, taken)
+		if next == 0 {
+			return nil, true
+		}
+		if _, ok := e.g.nodes[next]; !ok {
+			return nil, false
+		}
+		p.off = next
+		return p, false
+	}
+	// lift appends the taken edge first, the fall-through second.
+	if takenOK && fallOK {
+		q := p.clone()
+		s1, d1 := follow(p, 0, true)
+		s2, d2 := follow(q, 1, false)
+		if s1 != nil {
+			succs = append(succs, s1)
+		}
+		if s2 != nil {
+			succs = append(succs, s2)
+		}
+		return succs, d1 || d2
+	}
+	var s *wpath
+	if takenOK {
+		s, done = follow(p, 0, true)
+	} else {
+		s, done = follow(p, 1, false)
+	}
+	if s != nil {
+		succs = append(succs, s)
+	}
+	return succs, done
+}
+
+// runWalk drives paths from offset 0 to completion, returning every
+// completed path's own-slot writes.
+func (e *certEnv) runWalk(slotVals []aval, fork bool) [][]aval {
+	start := &wpath{off: 0, st: topState(), mem: map[uint32]aval{}}
+	paths := []*wpath{start}
+	var results [][]aval
+	forks := 0
+	for len(paths) > 0 {
+		p := paths[len(paths)-1]
+		paths = paths[:len(paths)-1]
+		succs, done := e.step(p, slotVals, fork)
+		if done {
+			results = append(results, p.writes)
+		}
+		if len(succs) > 1 {
+			forks++
+			if forks > walkMaxForks {
+				e.report("cert-termination", p.off, "fork walk exceeded %d forks", walkMaxForks)
+				return results
+			}
+		}
+		paths = append(paths, succs...)
+	}
+	return results
+}
+
+// forkWalk runs obligation 2: one iteration from arbitrary registers
+// and arbitrary slot contents.
+func (e *certEnv) forkWalk() {
+	slotVals := make([]aval, e.cert.N)
+	for i := range slotVals {
+		slotVals[i] = avTop()
+	}
+	results := e.runWalk(slotVals, true)
+	for _, writes := range results {
+		if len(writes) > 1 {
+			e.report("cert-extraction", -1, "iteration writes the node's slot %d times (at most one guarded store allowed)", len(writes))
+		}
+	}
+}
+
+// extractMoves runs obligation 3: singleton walks over every canonical
+// triple, yielding the node's move table.
+func (e *certEnv) extractMoves(nodeIdx int) map[uint64]move {
+	n := e.node
+	c := e.cert
+	selfDom := c.Domains[n.Slot]
+	leftDom := []uint16{0}
+	if n.Left >= 0 {
+		leftDom = c.Domains[n.Left]
+	}
+	rightDom := []uint16{0}
+	if n.Right >= 0 {
+		rightDom = c.Domains[n.Right]
+	}
+	sameSide := n.Left >= 0 && n.Left == n.Right
+
+	out := make(map[uint64]move, len(selfDom)*len(leftDom)*len(rightDom))
+	for _, self := range selfDom {
+		for _, l := range leftDom {
+			for _, r := range rightDom {
+				if sameSide && r != l {
+					continue // one shared neighbour slot: l and r coincide
+				}
+				rr := r
+				if sameSide {
+					rr = l
+				}
+				slotVals := make([]aval, c.N)
+				for i := range slotVals {
+					slotVals[i] = avTop()
+				}
+				slotVals[n.Slot] = avConst(self)
+				if n.Left >= 0 {
+					slotVals[n.Left] = avConst(l)
+				}
+				if n.Right >= 0 {
+					slotVals[n.Right] = avConst(rr)
+				}
+				results := e.runWalk(slotVals, false)
+				if len(results) != 1 {
+					e.report("cert-extraction", -1,
+						"triple (self=%d,l=%d,r=%d) yielded %d completed paths, want exactly 1", self, l, rr, len(results))
+					continue
+				}
+				var mv move
+				if len(results[0]) == 1 {
+					v, ok := results[0][0].constVal()
+					if !ok {
+						e.report("cert-extraction", -1,
+							"triple (self=%d,l=%d,r=%d) writes a non-constant value", self, l, rr)
+						continue
+					}
+					mv = move{write: true, value: v}
+				} else if len(results[0]) > 1 {
+					e.report("cert-extraction", -1,
+						"triple (self=%d,l=%d,r=%d) writes the slot %d times", self, l, rr, len(results[0]))
+					continue
+				}
+				if c.Moves != nil {
+					wantW, wantV := c.Moves(nodeIdx, self, l, rr)
+					if wantW != mv.write || (wantW && wantV != mv.value) {
+						e.report("cert-extraction", -1,
+							"triple (self=%d,l=%d,r=%d): extracted move (write=%v value=%d) differs from declared (write=%v value=%d)",
+							self, l, rr, mv.write, mv.value, wantW, wantV)
+					}
+				}
+				out[moveKey(self, l, rr)] = mv
+			}
+		}
+	}
+	return out
+}
+
+// rankProduct runs obligation 4 over the extracted relation.
+func rankProduct(c *RingCert, moves []map[uint64]move, res *CertResult, report func(string, string, int, string, ...any)) {
+	// Enumerate the product space in mixed radix over the domains.
+	type stateID = int
+	radix := make([]int, c.N)
+	for i, d := range c.Domains {
+		radix[i] = len(d)
+	}
+	decode := func(id stateID, x []uint16) {
+		for i := 0; i < c.N; i++ {
+			x[i] = c.Domains[i][id%radix[i]]
+			id /= radix[i]
+		}
+	}
+	encode := func(x []uint16) stateID {
+		id := 0
+		for i := c.N - 1; i >= 0; i-- {
+			k := 0
+			for j, v := range c.Domains[i] {
+				if v == x[i] {
+					k = j
+					break
+				}
+			}
+			id = id*radix[i] + k
+		}
+		return id
+	}
+
+	nodeArgs := func(i int, x []uint16) (self, l, r uint16) {
+		n := &c.Nodes[i]
+		self = x[n.Slot]
+		if n.Left >= 0 {
+			l = x[n.Left]
+		}
+		if n.Right >= 0 {
+			r = x[n.Right]
+		}
+		return
+	}
+	succs := func(x []uint16, out []stateID) []stateID {
+		out = out[:0]
+		for i := 0; i < c.N; i++ {
+			self, l, r := nodeArgs(i, x)
+			mv, ok := moves[i][moveKey(self, l, r)]
+			if !ok || !mv.write {
+				continue
+			}
+			old := x[c.Nodes[i].Slot]
+			x[c.Nodes[i].Slot] = mv.value
+			out = append(out, encode(x))
+			x[c.Nodes[i].Slot] = old
+		}
+		return out
+	}
+
+	total := res.States
+	x := make([]uint16, c.N)
+	y := make([]uint16, c.N)
+	var scratch []stateID
+
+	// Pass 1: closure, strict variant decrease, illegal deadlock.
+	violations := 0
+	const maxViolations = 8 // enough to debug, bounded output
+	for id := 0; id < total && violations < maxViolations; id++ {
+		decode(id, x)
+		legal := c.Legal(x)
+		scratch = succs(x, scratch)
+		if legal {
+			for _, sid := range scratch {
+				decode(sid, y)
+				if !c.Legal(y) {
+					report(c.Name, "cert-closure", -1, "legal state %v steps to illegal %v", x, y)
+					violations++
+				}
+			}
+			continue
+		}
+		if len(scratch) == 0 {
+			report(c.Name, "cert-ranking", -1, "illegal state %v is deadlocked (no privileged node)", x)
+			violations++
+			continue
+		}
+		vx := c.Variant(x)
+		for _, sid := range scratch {
+			decode(sid, y)
+			if vy := c.Variant(y); vy >= vx {
+				report(c.Name, "cert-ranking", -1, "variant does not decrease: %v (rank %d) steps to %v (rank %d)", x, vx, y, vy)
+				violations++
+			}
+		}
+	}
+	if violations > 0 {
+		return
+	}
+
+	// Pass 2: exact longest illegal path by DP. The variant check just
+	// proved the illegal subgraph acyclic, so the memoized DFS
+	// terminates; the cycle guard below is belt and braces against a
+	// Variant that lied.
+	const (
+		dUnknown = -1
+		dOnStack = -2
+	)
+	d := make([]int, total)
+	for i := range d {
+		d[i] = dUnknown
+	}
+	var stack []stateID
+	visit := func(root stateID) bool {
+		stack = append(stack[:0], root)
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			decode(id, x)
+			if d[id] >= 0 {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			if c.Legal(x) {
+				d[id] = 0
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			if d[id] == dUnknown {
+				d[id] = dOnStack
+				pushed := false
+				scratch = succs(x, scratch)
+				for _, sid := range scratch {
+					if d[sid] == dOnStack {
+						report(c.Name, "cert-ranking", -1, "illegal cycle through state %v", x)
+						return false
+					}
+					if d[sid] == dUnknown {
+						stack = append(stack, sid)
+						pushed = true
+					}
+				}
+				if pushed {
+					continue
+				}
+			}
+			// All successors resolved.
+			worst := 0
+			scratch = succs(x, scratch)
+			for _, sid := range scratch {
+				if d[sid] > worst {
+					worst = d[sid]
+				}
+			}
+			d[id] = 1 + worst
+			stack = stack[:len(stack)-1]
+		}
+		return true
+	}
+	rank := 0
+	for id := 0; id < total; id++ {
+		if d[id] == dUnknown && !visit(id) {
+			return
+		}
+		if d[id] > rank {
+			rank = d[id]
+		}
+	}
+	res.RankBound = rank
+	res.Bound = rank + c.N
+}

@@ -1,0 +1,160 @@
+package imglint_test
+
+import (
+	"strings"
+	"testing"
+
+	"ssos/internal/guest"
+	"ssos/internal/imglint"
+	"ssos/internal/isa"
+)
+
+// certByName builds the full certificate catalog and returns one spec.
+func certByName(t *testing.T, name string) guest.RingCertSpec {
+	t.Helper()
+	specs, err := guest.ConvergenceCerts()
+	if err != nil {
+		t.Fatalf("ConvergenceCerts: %v", err)
+	}
+	for _, s := range specs {
+		if s.Cert.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("no certificate named %q", name)
+	return guest.RingCertSpec{}
+}
+
+// TestConvergenceCertsProve: every catalog certificate proves, and the
+// ranking-mode ones carry a finite steps-to-legal bound.
+func TestConvergenceCertsProve(t *testing.T) {
+	specs, err := guest.ConvergenceCerts()
+	if err != nil {
+		t.Fatalf("ConvergenceCerts: %v", err)
+	}
+	if len(specs) < 18 {
+		t.Fatalf("only %d certificates in the catalog, want >= 18", len(specs))
+	}
+	modes := map[string]int{}
+	for _, spec := range specs {
+		r := imglint.CheckRingCert(spec.Cert)
+		if !r.Proved() {
+			t.Errorf("%s: not proved:", r.Name)
+			for _, f := range r.Findings {
+				t.Errorf("  %s", f)
+			}
+			continue
+		}
+		modes[r.Mode]++
+		if r.Mode == "ranking" && r.Bound < r.N {
+			t.Errorf("%s: bound %d below the mid-entry grace %d", r.Name, r.Bound, r.N)
+		}
+	}
+	if modes["ranking"] < 12 {
+		t.Errorf("only %d ranking-mode certificates, want >= 12 (got %v)", modes["ranking"], modes)
+	}
+}
+
+// TestCertDeterministic: the checker's verdict is byte-stable across
+// runs on the same certificate.
+func TestCertDeterministic(t *testing.T) {
+	spec := certByName(t, "mbox-dijkstra3")
+	a := imglint.CheckRingCert(spec.Cert)
+	b := imglint.CheckRingCert(certByName(t, "mbox-dijkstra3").Cert)
+	if a.Bound != b.Bound || a.RankBound != b.RankBound || a.States != b.States || len(a.Findings) != len(b.Findings) {
+		t.Fatalf("verdict not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestCertTamperedImageFails: planting a forbidden instruction in the
+// certified bytes (hlt at the iteration head) breaks the graph
+// obligations — the certificate must not prove.
+func TestCertTamperedImageFails(t *testing.T) {
+	spec := certByName(t, "mbox-dijkstra3")
+	bytes := append([]byte(nil), spec.Cert.Nodes[0].Image.Bytes...)
+	bytes[0] = byte(isa.OpHlt)
+	spec.Cert.Nodes[0].Image.Bytes = bytes
+	r := imglint.CheckRingCert(spec.Cert)
+	if r.Proved() {
+		t.Fatal("tampered image (hlt at head) still proves")
+	}
+	found := false
+	for _, f := range r.Findings {
+		if f.Check == "cert-termination" && strings.Contains(f.Msg, "forbidden instruction") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no cert-termination/forbidden-instruction finding in %v", r.Findings)
+	}
+}
+
+// TestCertWrongMovesFails: a declared move table that disagrees with
+// the shipped bytes is caught by the extraction cross-check — the
+// declared protocol cannot silently drift from the ROM.
+func TestCertWrongMovesFails(t *testing.T) {
+	spec := certByName(t, "mbox-dijkstra3")
+	orig := spec.Cert.Moves
+	spec.Cert.Moves = func(node int, self, left, right uint16) (bool, uint16) {
+		w, v := orig(node, self, left, right)
+		if node == 1 && w {
+			return true, (v + 1) % 3 // deliberately wrong successor value
+		}
+		return w, v
+	}
+	r := imglint.CheckRingCert(spec.Cert)
+	if r.Proved() {
+		t.Fatal("certificate with a wrong declared move table still proves")
+	}
+	found := false
+	for _, f := range r.Findings {
+		if f.Check == "cert-extraction" && strings.Contains(f.Msg, "differs from declared") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no cert-extraction mismatch finding in %v", r.Findings)
+	}
+}
+
+// TestCertBrokenVariantFails: a variant that never strictly decreases
+// (constant zero) must fail the ranking pass on any system with
+// illegal states.
+func TestCertBrokenVariantFails(t *testing.T) {
+	spec := certByName(t, "mbox-dijkstra3-n4")
+	spec.Cert.Variant = func(x []uint16) int { return 0 }
+	r := imglint.CheckRingCert(spec.Cert)
+	if r.Proved() {
+		t.Fatal("constant variant still proves on a system with illegal states")
+	}
+	found := false
+	for _, f := range r.Findings {
+		if f.Check == "cert-ranking" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no cert-ranking finding in %v", r.Findings)
+	}
+}
+
+// TestCertConfinementCatchesForeignStore: shrinking a node's declared
+// data window turns its own in-window stores into confinement
+// violations — the write-confinement obligation is live.
+func TestCertConfinementCatchesForeignStore(t *testing.T) {
+	spec := certByName(t, "mbox-dijkstra3")
+	spec.Cert.Nodes[0].DataHi = spec.Cert.Nodes[0].DataLo // empty window
+	r := imglint.CheckRingCert(spec.Cert)
+	if r.Proved() {
+		t.Fatal("empty data window still proves")
+	}
+	found := false
+	for _, f := range r.Findings {
+		if f.Check == "cert-confinement" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no cert-confinement finding in %v", r.Findings)
+	}
+}

@@ -4,8 +4,29 @@ import (
 	"reflect"
 	"testing"
 
+	"ssos/internal/guest"
 	"ssos/internal/imglint"
+	"ssos/internal/isa"
 )
+
+// mailboxSeedImages returns the assembled mailbox ring node images —
+// real certified bytes, the highest-value seeds for both fuzzers since
+// every interesting code shape (normalizers, guards, beat footer,
+// slot padding) appears in them.
+func mailboxSeedImages(f *testing.F) [][]byte {
+	f.Helper()
+	var out [][]byte
+	for _, v := range guest.RingVariants() {
+		set, err := guest.BuildMailboxProcesses(v)
+		if err != nil {
+			f.Fatalf("BuildMailboxProcesses(%v): %v", v, err)
+		}
+		for i := 0; i < guest.MailboxNodes; i++ {
+			out = append(out, set.Images[i])
+		}
+	}
+	return out
+}
 
 // FuzzImageLint feeds arbitrary byte images through every check with
 // an adversarial spec: Check must never panic and must return the same
@@ -15,6 +36,16 @@ func FuzzImageLint(f *testing.F) {
 	f.Add([]byte{0x40, 0x00, 0x00}, uint16(0), uint16(3), uint16(0))
 	f.Add([]byte{0xFF, 0x00, 0x90, 0x40}, uint16(2), uint16(1), uint16(0x2000))
 	f.Add(make([]byte, 64), uint16(64), uint16(16), uint16(0xFFFF))
+	// The certified mailbox ring images, plus crafted near-misses
+	// (tampered head, truncated tail) kept as regression counterexamples
+	// for the certificate checker's lifted-CFG path.
+	for _, img := range mailboxSeedImages(f) {
+		f.Add(img, uint16(len(img)), uint16(0), uint16(0xA000))
+		tampered := append([]byte(nil), img...)
+		tampered[0] = byte(isa.OpHlt)
+		f.Add(tampered, uint16(len(img)), uint16(0), uint16(0xA000))
+		f.Add(img[:len(img)/2], uint16(len(img)), uint16(16), uint16(0xA000))
+	}
 	f.Fuzz(func(t *testing.T, img []byte, codeEnd, entry, cs uint16) {
 		spec := imglint.Image{
 			Name:         "fuzz",
@@ -33,6 +64,59 @@ func FuzzImageLint(f *testing.F) {
 		first := imglint.Check(spec)
 		if again := imglint.Check(spec); !reflect.DeepEqual(first, again) {
 			t.Fatalf("verdict not deterministic:\n%v\nvs\n%v", first, again)
+		}
+	})
+}
+
+// FuzzRingCert swaps arbitrary bytes into one node of the smallest
+// catalog certificate and re-runs the prover: CheckRingCert must never
+// panic, must stay deterministic, and whenever it proves, the bound
+// must equal the ranked bound plus the mid-entry grace — i.e. a proof
+// is always a real ranking proof, never a degenerate verdict. (Byte
+// mutations may still legitimately prove: the extraction is semantic,
+// and e.g. truncating trailing padding leaves the step loop intact.)
+// Tampered and truncated catalog images ride in the seed corpus as
+// kept counterexamples.
+func FuzzRingCert(f *testing.F) {
+	specs, err := guest.ConvergenceCerts()
+	if err != nil {
+		f.Fatalf("ConvergenceCerts: %v", err)
+	}
+	var base *guest.RingCertSpec
+	for i := range specs {
+		if specs[i].Cert.Name == "mbox-dijkstra3-n2" {
+			base = &specs[i]
+		}
+	}
+	if base == nil {
+		f.Fatal("no mbox-dijkstra3-n2 certificate in the catalog")
+	}
+	for i, node := range base.Cert.Nodes {
+		f.Add(uint8(i), node.Image.Bytes)
+		tampered := append([]byte(nil), node.Image.Bytes...)
+		tampered[0] = byte(isa.OpHlt)
+		f.Add(uint8(i), tampered)
+		f.Add(uint8(i), node.Image.Bytes[:len(node.Image.Bytes)/2])
+		f.Add(uint8(i), []byte{})
+	}
+	f.Fuzz(func(t *testing.T, idx uint8, img []byte) {
+		i := int(idx) % len(base.Cert.Nodes)
+		cert := base.Cert
+		cert.Nodes = append([]imglint.RingNode(nil), base.Cert.Nodes...)
+		cert.Nodes[i].Image.Bytes = img
+		first := imglint.CheckRingCert(cert)
+		again := imglint.CheckRingCert(cert)
+		if first.Proved() != again.Proved() || first.Bound != again.Bound ||
+			first.RankBound != again.RankBound || len(first.Findings) != len(again.Findings) {
+			t.Fatalf("verdict not deterministic: %+v vs %+v", first, again)
+		}
+		if first.Proved() {
+			if first.Mode != "ranking" {
+				t.Fatalf("proved in mode %q, want ranking (n=%d fits the cap)", first.Mode, first.N)
+			}
+			if first.Bound != first.RankBound+first.N || first.RankBound < 0 {
+				t.Fatalf("degenerate proof: bound %d, rank %d, n %d", first.Bound, first.RankBound, first.N)
+			}
 		}
 	})
 }

@@ -110,10 +110,10 @@ type Image struct {
 // Finding is one invariant violation, anchored at an image offset
 // (-1 when the finding is not offset-specific).
 type Finding struct {
-	Image  string
-	Check  string
-	Offset int
-	Msg    string
+	Image  string `json:"image"`
+	Check  string `json:"check"`
+	Offset int    `json:"offset"`
+	Msg    string `json:"msg"`
 }
 
 func (f Finding) String() string {

@@ -277,9 +277,9 @@ func TestROMStoreSurvivesJoin(t *testing.T) {
 	// Two paths set ds to the same ROM segment; the store after the join
 	// is still provable.
 	code := enc(
-		isa.Inst{Op: isa.OpMovRI, R1: uint8(isa.AX), Imm: 0xE000}, // 0..3
-		isa.Inst{Op: isa.OpJe, Imm: 8},                            // 4..6
-		isa.Inst{Op: isa.OpNop},                                   // 7
+		isa.Inst{Op: isa.OpMovRI, R1: uint8(isa.AX), Imm: 0xE000},       // 0..3
+		isa.Inst{Op: isa.OpJe, Imm: 8},                                  // 4..6
+		isa.Inst{Op: isa.OpNop},                                         // 7
 		isa.Inst{Op: isa.OpMovSR, R1: uint8(isa.DS), R2: uint8(isa.AX)}, // 8..10 join
 		isa.Inst{Op: isa.OpMovMI, Mem: isa.MemOp{Seg: isa.DS, Disp: 0}, Imm: 1},
 		isa.Inst{Op: isa.OpHlt},

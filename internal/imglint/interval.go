@@ -1,0 +1,503 @@
+package imglint
+
+// The abstract value domain of the imglint interpreter: a three-tier
+// lattice over 16-bit words, replacing PR 5's flat constant domain.
+//
+//	top               — any word
+//	range [lo, hi]    — any word in a contiguous interval
+//	set {v1, ... vk}  — an explicit sorted set, k <= setCap
+//
+// Sets keep the precision the ranking-certificate checker needs: the
+// guest normalization sequences are masking ops (`and ax, 15`,
+// `and ax, 2; or ax, 1`) whose images are small *non-contiguous* value
+// sets, which intervals cannot represent (Ghosh's parity-anchored
+// domains are {1,3} and {0,2}). Ranges keep the rom-store check's
+// segment-window reasoning cheap when a value is bounded but not
+// enumerable. All operations are sound over-approximations: the
+// concretization of the result contains every word an execution could
+// produce from words in the operands' concretizations.
+
+// setCap bounds explicit-set size; larger results round up to a range
+// (their hull) or top. 32 covers the full K-state domain (K=16) with
+// room for joins.
+const setCap = 32
+
+// aval kinds.
+const (
+	aTop uint8 = iota
+	aSet
+	aRange
+)
+
+// aval is one abstract 16-bit value.
+type aval struct {
+	kind   uint8
+	lo, hi uint16   // aRange bounds, inclusive
+	set    []uint16 // aSet members, sorted ascending, 1 <= len <= setCap
+}
+
+// avTop is the unknown value.
+func avTop() aval { return aval{kind: aTop} }
+
+// avConst is the singleton abstraction of v.
+func avConst(v uint16) aval { return aval{kind: aSet, set: []uint16{v}} }
+
+// avSet builds a set value from sorted-or-not members, deduplicating.
+// Empty input or overflow rounds to the hull range (top for empty).
+func avSet(vs []uint16) aval {
+	if len(vs) == 0 {
+		return avTop()
+	}
+	sorted := append([]uint16(nil), vs...)
+	insertionSort(sorted)
+	w := 0
+	for i, v := range sorted {
+		if i == 0 || v != sorted[w-1] {
+			sorted[w] = v
+			w++
+		}
+	}
+	sorted = sorted[:w]
+	if len(sorted) > setCap {
+		return avRange(sorted[0], sorted[len(sorted)-1])
+	}
+	return aval{kind: aSet, set: sorted}
+}
+
+// avRange builds the interval [lo, hi]; an inverted pair rounds to top
+// (the domain has no wraparound intervals).
+func avRange(lo, hi uint16) aval {
+	if lo > hi {
+		return avTop()
+	}
+	if lo == hi {
+		return avConst(lo)
+	}
+	return aval{kind: aRange, lo: lo, hi: hi}
+}
+
+// insertionSort keeps the domain free of sort-package allocations; sets
+// are tiny.
+func insertionSort(s []uint16) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// isTop reports whether v carries no information.
+func (v aval) isTop() bool { return v.kind == aTop }
+
+// constVal reports the single concrete value when v is a singleton.
+func (v aval) constVal() (uint16, bool) {
+	if v.kind == aSet && len(v.set) == 1 {
+		return v.set[0], true
+	}
+	return 0, false
+}
+
+// bounds returns the inclusive concretization bounds (the full word
+// range for top).
+func (v aval) bounds() (lo, hi uint16) {
+	switch v.kind {
+	case aSet:
+		return v.set[0], v.set[len(v.set)-1]
+	case aRange:
+		return v.lo, v.hi
+	}
+	return 0, 0xFFFF
+}
+
+// contains reports whether w is in v's concretization.
+func (v aval) contains(w uint16) bool {
+	switch v.kind {
+	case aSet:
+		for _, x := range v.set {
+			if x == w {
+				return true
+			}
+			if x > w {
+				return false
+			}
+		}
+		return false
+	case aRange:
+		return v.lo <= w && w <= v.hi
+	}
+	return true
+}
+
+// subsetOfWords reports whether every concrete value of v is in the
+// given sorted word set. Top and ranges wider than the set answer
+// false.
+func (v aval) subsetOfWords(words []uint16) bool {
+	switch v.kind {
+	case aSet:
+		for _, x := range v.set {
+			if !wordIn(words, x) {
+				return false
+			}
+		}
+		return true
+	case aRange:
+		if int(v.hi)-int(v.lo) >= len(words) {
+			return false
+		}
+		for w := uint32(v.lo); w <= uint32(v.hi); w++ {
+			if !wordIn(words, uint16(w)) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func wordIn(sorted []uint16, w uint16) bool {
+	for _, x := range sorted {
+		if x == w {
+			return true
+		}
+		if x > w {
+			return false
+		}
+	}
+	return false
+}
+
+// eq reports structural equality (used for fixpoint termination).
+func (v aval) eq(o aval) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case aSet:
+		if len(v.set) != len(o.set) {
+			return false
+		}
+		for i := range v.set {
+			if v.set[i] != o.set[i] {
+				return false
+			}
+		}
+		return true
+	case aRange:
+		return v.lo == o.lo && v.hi == o.hi
+	}
+	return true
+}
+
+// join is the lattice join: the result's concretization contains both
+// operands'. Set-set joins stay sets while small; everything else
+// rounds to the bounding hull or top.
+func (v aval) join(o aval) aval {
+	if v.isTop() || o.isTop() {
+		return avTop()
+	}
+	if v.kind == aSet && o.kind == aSet {
+		if len(v.set)+len(o.set) <= setCap {
+			merged := make([]uint16, 0, len(v.set)+len(o.set))
+			merged = append(merged, v.set...)
+			merged = append(merged, o.set...)
+			return avSet(merged)
+		}
+	}
+	vlo, vhi := v.bounds()
+	olo, ohi := o.bounds()
+	return avRange(min16(vlo, olo), max16(vhi, ohi))
+}
+
+// widen is join with forced coarsening, guaranteeing a finite ascending
+// chain: any growth collapses at least to the hull range, and a growing
+// range jumps straight to top. Used by the fixpoint after the per-offset
+// join budget is spent.
+func (v aval) widen(o aval) aval {
+	j := v.join(o)
+	if j.eq(v) {
+		return v
+	}
+	if j.kind == aSet {
+		lo, hi := j.bounds()
+		return avRange(lo, hi)
+	}
+	return avTop()
+}
+
+func min16(a, b uint16) uint16 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max16(a, b uint16) uint16 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// avBinop applies a concrete binary op pairwise when both operands are
+// small sets, falling back to kindFallback (which may inspect bounds).
+func avBinop(a, b aval, f func(x, y uint16) uint16, fallback func(a, b aval) aval) aval {
+	if a.kind == aSet && b.kind == aSet && len(a.set)*len(b.set) <= setCap*2 {
+		out := make([]uint16, 0, len(a.set)*len(b.set))
+		for _, x := range a.set {
+			for _, y := range b.set {
+				out = append(out, f(x, y))
+			}
+		}
+		return avSet(out)
+	}
+	return fallback(a, b)
+}
+
+// avAdd abstracts 16-bit addition (wrapping).
+func avAdd(a, b aval) aval {
+	return avBinop(a, b, func(x, y uint16) uint16 { return x + y }, func(a, b aval) aval {
+		alo, ahi := a.bounds()
+		blo, bhi := b.bounds()
+		// Sound only when the concrete sums cannot wrap.
+		if uint32(ahi)+uint32(bhi) <= 0xFFFF {
+			return avRange(alo+blo, ahi+bhi)
+		}
+		return avTop()
+	})
+}
+
+// avSub abstracts 16-bit subtraction (wrapping).
+func avSub(a, b aval) aval {
+	return avBinop(a, b, func(x, y uint16) uint16 { return x - y }, func(a, b aval) aval {
+		alo, ahi := a.bounds()
+		blo, bhi := b.bounds()
+		// Sound only when no concrete difference can borrow.
+		if alo >= bhi {
+			return avRange(alo-bhi, ahi-blo)
+		}
+		return avTop()
+	})
+}
+
+// avAnd abstracts bitwise and. Masking an arbitrary word with a
+// constant yields the full masked range — the op that turns top into a
+// bounded domain, which is exactly what the guest normalization
+// sequences rely on.
+func avAnd(a, b aval) aval {
+	return avBinop(a, b, func(x, y uint16) uint16 { return x & y }, func(a, b aval) aval {
+		if m, ok := b.constVal(); ok {
+			return maskImage(m)
+		}
+		if m, ok := a.constVal(); ok {
+			return maskImage(m)
+		}
+		_, ahi := a.bounds()
+		_, bhi := b.bounds()
+		return avRange(0, min16(ahi, bhi))
+	})
+}
+
+// maskImage is the image of `x & m` over arbitrary x: the set of
+// submasks of m when that set is small enough (exact even for sparse
+// masks like 0b10, whose image {0, 2} no interval can express), else
+// the hull [0, m].
+func maskImage(m uint16) aval {
+	bits := 0
+	for v := m; v != 0; v &= v - 1 {
+		bits++
+	}
+	if bits > 5 { // 2^5 = setCap submasks
+		return avRange(0, m)
+	}
+	subs := make([]uint16, 0, 1<<bits)
+	// Standard submask enumeration: s = (s-1)&m walks every submask.
+	s := m
+	for {
+		subs = append(subs, s)
+		if s == 0 {
+			break
+		}
+		s = (s - 1) & m
+	}
+	return avSet(subs)
+}
+
+// avOr abstracts bitwise or. x|y is bounded by the all-ones fill of
+// both operands' upper bounds.
+func avOr(a, b aval) aval {
+	return avBinop(a, b, func(x, y uint16) uint16 { return x | y }, func(a, b aval) aval {
+		alo, ahi := a.bounds()
+		blo, bhi := b.bounds()
+		return avRange(max16(alo, blo), fillBits(ahi)|fillBits(bhi))
+	})
+}
+
+// avXor abstracts bitwise xor.
+func avXor(a, b aval) aval {
+	return avBinop(a, b, func(x, y uint16) uint16 { return x ^ y }, func(a, b aval) aval {
+		_, ahi := a.bounds()
+		_, bhi := b.bounds()
+		return avRange(0, fillBits(ahi)|fillBits(bhi))
+	})
+}
+
+// fillBits returns the all-ones mask covering v (0 -> 0).
+func fillBits(v uint16) uint16 {
+	v |= v >> 1
+	v |= v >> 2
+	v |= v >> 4
+	v |= v >> 8
+	return v
+}
+
+// avShl abstracts shl by an immediate (count masked to 0..15 as the
+// machine does).
+func avShl(a aval, count uint16) aval {
+	c := count & 15
+	return avBinop(a, avConst(c), func(x, y uint16) uint16 { return x << y }, func(a, _ aval) aval {
+		_, ahi := a.bounds()
+		if uint32(ahi)<<c <= 0xFFFF {
+			alo, _ := a.bounds()
+			return avRange(alo<<c, ahi<<c)
+		}
+		return avTop()
+	})
+}
+
+// avShr abstracts shr by an immediate.
+func avShr(a aval, count uint16) aval {
+	c := count & 15
+	return avBinop(a, avConst(c), func(x, y uint16) uint16 { return x >> y }, func(a, _ aval) aval {
+		alo, ahi := a.bounds()
+		return avRange(alo>>c, ahi>>c)
+	})
+}
+
+// Branch refinement: given the abstract operands of a cmp and the
+// branch direction taken, return refined operand values. rel names the
+// relation that HOLDS on the chosen edge ("eq", "ne", "b", "ae", "be",
+// "a" — unsigned, as the jcc family tests).
+
+// refine returns a's refinement under `a rel b`. It is sound: the
+// result contains every concrete x in a for which some y in b satisfies
+// x rel y.
+func refine(a, b aval, rel string) aval {
+	if a.isTop() && b.isTop() {
+		return a
+	}
+	blo, bhi := b.bounds()
+	switch rel {
+	case "eq":
+		// x must equal some member of b.
+		if b.kind == aSet {
+			if a.kind == aSet {
+				var out []uint16
+				for _, x := range a.set {
+					if b.contains(x) {
+						out = append(out, x)
+					}
+				}
+				return avSetOrBottom(out, a)
+			}
+			var out []uint16
+			for _, y := range b.set {
+				if a.contains(y) {
+					out = append(out, y)
+				}
+			}
+			return avSetOrBottom(out, a)
+		}
+		return clip(a, blo, bhi)
+	case "ne":
+		// Only a singleton b removes anything representable.
+		if bv, ok := b.constVal(); ok && a.kind == aSet {
+			var out []uint16
+			for _, x := range a.set {
+				if x != bv {
+					out = append(out, x)
+				}
+			}
+			return avSetOrBottom(out, a)
+		}
+		return a
+	case "b": // x < some y
+		if bhi == 0 {
+			return a
+		}
+		return clip(a, 0, bhi-1)
+	case "be": // x <= some y
+		return clip(a, 0, bhi)
+	case "a": // x > some y
+		if blo == 0xFFFF {
+			return a
+		}
+		return clip(a, blo+1, 0xFFFF)
+	case "ae": // x >= some y
+		return clip(a, blo, 0xFFFF)
+	}
+	return a
+}
+
+// clip intersects a with [lo, hi].
+func clip(a aval, lo, hi uint16) aval {
+	switch a.kind {
+	case aSet:
+		var out []uint16
+		for _, x := range a.set {
+			if lo <= x && x <= hi {
+				out = append(out, x)
+			}
+		}
+		return avSetOrBottom(out, a)
+	case aRange:
+		return avRange(max16(a.lo, lo), min16(a.hi, hi))
+	}
+	return avRange(lo, hi)
+}
+
+// avSetOrBottom returns the refined set, or the unrefined value when
+// the set came out empty (an empty refinement means the edge is
+// infeasible; callers that can prune edges detect that separately via
+// feasible, and callers that cannot must stay sound).
+func avSetOrBottom(out []uint16, orig aval) aval {
+	if len(out) == 0 {
+		return orig
+	}
+	return avSet(out)
+}
+
+// feasible reports whether `a rel b` can hold for some concrete pair.
+// Used by the certificate walker to decide conditional branches: with
+// singleton operands exactly one of rel / negation is feasible.
+func feasible(a, b aval, rel string) bool {
+	alo, ahi := a.bounds()
+	blo, bhi := b.bounds()
+	switch rel {
+	case "eq":
+		if a.kind == aSet && b.kind == aSet {
+			for _, x := range a.set {
+				if b.contains(x) {
+					return true
+				}
+			}
+			return false
+		}
+		return alo <= bhi && blo <= ahi
+	case "ne":
+		av, aok := a.constVal()
+		bv, bok := b.constVal()
+		if aok && bok {
+			return av != bv
+		}
+		return true
+	case "b":
+		return alo < bhi
+	case "be":
+		return alo <= bhi
+	case "a":
+		return ahi > blo
+	case "ae":
+		return ahi >= blo
+	}
+	return true
+}

@@ -1,0 +1,199 @@
+package imglint
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// sample returns a few concrete witnesses of an abstract value (for
+// top, a spread of the whole space).
+func sample(v aval, r *rand.Rand) []uint16 {
+	switch v.kind {
+	case aTop:
+		return []uint16{0, 1, uint16(r.Uint32()), 0x7FFF, 0xFFFF}
+	case aSet:
+		return v.set
+	default:
+		out := []uint16{v.lo, v.hi}
+		if v.hi > v.lo {
+			out = append(out, v.lo+uint16(r.Uint32())%(v.hi-v.lo+1))
+		}
+		return out
+	}
+}
+
+// randAval draws a random abstract value of any kind.
+func randAval(r *rand.Rand) aval {
+	switch r.Intn(4) {
+	case 0:
+		return avTop()
+	case 1:
+		return avConst(uint16(r.Uint32()))
+	case 2:
+		n := 1 + r.Intn(6)
+		vs := make([]uint16, n)
+		for i := range vs {
+			vs[i] = uint16(r.Uint32() % 64)
+		}
+		return avSet(vs)
+	default:
+		a, b := uint16(r.Uint32()%256), uint16(r.Uint32()%256)
+		if a > b {
+			a, b = b, a
+		}
+		return avRange(a, b)
+	}
+}
+
+// TestAvalBinopSoundness: for every abstract operator, the abstraction
+// of any concrete result pair is contained in the abstract result —
+// the local soundness condition the certificate prover rests on.
+func TestAvalBinopSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ops := []struct {
+		name string
+		abs  func(a, b aval) aval
+		conc func(x, y uint16) uint16
+	}{
+		{"add", avAdd, func(x, y uint16) uint16 { return x + y }},
+		{"sub", avSub, func(x, y uint16) uint16 { return x - y }},
+		{"and", avAnd, func(x, y uint16) uint16 { return x & y }},
+		{"or", avOr, func(x, y uint16) uint16 { return x | y }},
+		{"xor", avXor, func(x, y uint16) uint16 { return x ^ y }},
+	}
+	for trial := 0; trial < 2000; trial++ {
+		a, b := randAval(r), randAval(r)
+		for _, op := range ops {
+			res := op.abs(a, b)
+			for _, x := range sample(a, r) {
+				for _, y := range sample(b, r) {
+					if got := op.conc(x, y); !res.contains(got) {
+						t.Fatalf("%s: %v op %v = %v does not contain %d (from %d, %d)",
+							op.name, a, b, res, got, x, y)
+					}
+				}
+			}
+		}
+		count := uint16(r.Uint32() % 17)
+		shl, shr := avShl(a, count), avShr(a, count)
+		for _, x := range sample(a, r) {
+			if got := x << (count & 15); !shl.contains(got) {
+				t.Fatalf("shl %v by %d = %v misses %d", a, count, shl, got)
+			}
+			if got := x >> (count & 15); !shr.contains(got) {
+				t.Fatalf("shr %v by %d = %v misses %d", a, count, shr, got)
+			}
+		}
+	}
+}
+
+// TestAvalJoinWiden: join is an upper bound of both sides; widen is an
+// upper bound of join and reaches a fixpoint (no infinite ascending
+// chain under repeated widening).
+func TestAvalJoinWiden(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 2000; trial++ {
+		a, b := randAval(r), randAval(r)
+		j := a.join(b)
+		for _, x := range append(sample(a, r), sample(b, r)...) {
+			if !j.contains(x) {
+				t.Fatalf("join(%v, %v) = %v misses %d", a, b, j, x)
+			}
+		}
+		w := a.widen(b)
+		for _, x := range append(sample(a, r), sample(b, r)...) {
+			if !w.contains(x) {
+				t.Fatalf("widen(%v, %v) = %v misses %d", a, b, w, x)
+			}
+		}
+		// Chain termination: widening the widened value with anything
+		// larger stabilizes within a handful of steps.
+		cur := a
+		for i := 0; i < 40; i++ {
+			next := cur.widen(randAval(r))
+			if next.eq(cur.join(next) /* next is an upper bound */) && cur.eq(next) {
+				break
+			}
+			cur = next
+			if i == 39 && !cur.isTop() {
+				// Widening must have hit top (or a fixpoint caught above)
+				// long before 40 iterations.
+				t.Fatalf("widening chain did not stabilize: %v", cur)
+			}
+		}
+	}
+}
+
+// TestMaskImage: masking with a small-popcount constant yields the
+// exact submask set — the precision the Ghosh parity domains need.
+func TestMaskImage(t *testing.T) {
+	img := maskImage(2)
+	for _, want := range []uint16{0, 2} {
+		if !img.contains(want) {
+			t.Fatalf("maskImage(2) = %v misses %d", img, want)
+		}
+	}
+	if img.contains(1) || img.contains(3) {
+		t.Fatalf("maskImage(2) = %v is not exact", img)
+	}
+	// and reg,3 then or reg,1 — the Ghosh owner-0 normalizer — must
+	// land exactly in {1,3}.
+	norm := avOr(avAnd(avTop(), avConst(3)), avConst(1))
+	for _, want := range []uint16{1, 3} {
+		if !norm.contains(want) {
+			t.Fatalf("owner-0 normalizer image %v misses %d", norm, want)
+		}
+	}
+	if norm.contains(0) || norm.contains(2) {
+		t.Fatalf("owner-0 normalizer image %v is not exact", norm)
+	}
+	// Wide masks fall back to a range.
+	wide := maskImage(0x7FFF)
+	if wide.kind != aRange || wide.lo != 0 || wide.hi != 0x7FFF {
+		t.Fatalf("maskImage(0x7FFF) = %v, want range [0, 0x7FFF]", wide)
+	}
+}
+
+// TestRefineSoundAndPrecise: refine(a, b, rel) keeps every witness of a
+// that can satisfy the relation against some witness of b, and feasible
+// agrees with concrete satisfiability.
+func TestRefineSoundAndPrecise(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	rels := []string{"eq", "ne", "b", "be", "a", "ae"}
+	holds := func(rel string, x, y uint16) bool {
+		switch rel {
+		case "eq":
+			return x == y
+		case "ne":
+			return x != y
+		case "b":
+			return x < y
+		case "be":
+			return x <= y
+		case "a":
+			return x > y
+		default:
+			return x >= y
+		}
+	}
+	for trial := 0; trial < 4000; trial++ {
+		a, b := randAval(r), randAval(r)
+		rel := rels[r.Intn(len(rels))]
+		ref := refine(a, b, rel)
+		anyPair := false
+		for _, x := range sample(a, r) {
+			for _, y := range sample(b, r) {
+				if holds(rel, x, y) {
+					anyPair = true
+					if !ref.contains(x) {
+						t.Fatalf("refine(%v, %v, %s) = %v dropped witness %d (against %d)",
+							a, b, rel, ref, x, y)
+					}
+				}
+			}
+		}
+		if anyPair && !feasible(a, b, rel) {
+			t.Fatalf("feasible(%v, %v, %s) = false but a concrete pair satisfies it", a, b, rel)
+		}
+	}
+}

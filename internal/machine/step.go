@@ -15,6 +15,8 @@ import (
 // clock tick. Step is total: it is well-defined from ANY configuration,
 // including corrupted ones, which is what makes the machine a valid
 // substrate for self-stabilization experiments.
+//
+//ssos:hotpath
 func (m *Machine) Step() Event {
 	m.Stats.Steps++
 	for _, t := range m.tickers {

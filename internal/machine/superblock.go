@@ -150,6 +150,8 @@ func (m *Machine) SetSuperblocks(on bool) {
 // The fallback conditions (AfterStep installed, engine disabled) are
 // live machine fields re-read every iteration, so hooks installed
 // mid-run by tickers or port devices take effect on the very next step.
+//
+//ssos:hotpath
 func (m *Machine) runBatched(n int) {
 	for done := 0; done < n; done++ {
 		if m.AfterStep != nil || m.sblocks == nil {
@@ -413,6 +415,8 @@ func (m *Machine) sbEnter() Event {
 // sbBuild (re)builds the superblock headed at lin (== linear(cs, ip)),
 // reusing the evicted block's entry storage when there is one. The
 // caller has already established that the head passes the wrap guards.
+//
+//ssos:alloc-ok cold build path: allocates the block and its entry slice once per (re)build, amortized across every later entry
 func (m *Machine) sbBuild(b *superblock, lin uint32, ip uint16) *superblock {
 	if b == nil {
 		b = &superblock{ins: make([]sbEntry, 0, sbMaxLen)}
@@ -521,6 +525,12 @@ func sbFnFor(op isa.Op) sbFn {
 	return sbGeneric
 }
 
+// The dispatch table init is a noalloc root: runBatched/sbExec reach
+// the executors only through sbEntry.fn (a func value, outside the
+// static call graph), so rooting the table population here pulls every
+// executor into the hot closure.
+//
+//ssos:hotpath
 func init() {
 	sbFns[isa.OpNop] = sbNop
 	sbFns[isa.OpMovRI] = sbMovRI

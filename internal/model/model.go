@@ -47,17 +47,15 @@ func (sys *System[S]) CheckClosure() (from, to S, violated bool) {
 	return zero, zero, false
 }
 
-// CheckConvergence verifies that from EVERY state, EVERY execution
-// reaches a legal state within bound steps. It returns the worst-case
-// number of steps observed and, on failure, a witness state from which
-// some execution stays illegal past the bound (for nondeterministic
-// systems this includes any illegal cycle).
-//
-// The check computes, by fixpoint, d(s) = 0 for legal s and
-// d(s) = 1 + max over successors d(n) otherwise; d is finite for every
-// state iff the illegal sub-graph is acyclic, and then max d is the
-// exact worst-case convergence bound.
-func (sys *System[S]) CheckConvergence(bound int) (worst int, witness S, ok bool) {
+// Heights computes the exact steps-to-legal distance of every state:
+// d(s) = 0 for legal s and d(s) = 1 + max over successors d(n)
+// otherwise. d is finite for every state iff the illegal sub-graph is
+// acyclic; on failure ok is false and witness is a state whose height
+// never resolved (it can reach an illegal cycle, or a successor
+// outside the enumerated space). The height map is the canonical
+// ranking function of the system — the static convergence certificates
+// (imglint.RingCert) use it as their declared variant.
+func (sys *System[S]) Heights() (heights map[S]int, witness S, ok bool) {
 	const unknown = -1
 	d := make(map[S]int, len(sys.States))
 	for _, s := range sys.States {
@@ -102,11 +100,30 @@ func (sys *System[S]) CheckConvergence(bound int) (worst int, witness S, ok bool
 			break
 		}
 	}
-	worst = 0
 	for _, s := range sys.States {
 		if d[s] == unknown {
-			return 0, s, false
+			return nil, s, false
 		}
+	}
+	var zero S
+	return d, zero, true
+}
+
+// CheckConvergence verifies that from EVERY state, EVERY execution
+// reaches a legal state within bound steps. It returns the worst-case
+// number of steps observed and, on failure, a witness state from which
+// some execution stays illegal past the bound (for nondeterministic
+// systems this includes any illegal cycle).
+//
+// The check computes the exact height map (Heights); max d is the
+// exact worst-case convergence bound.
+func (sys *System[S]) CheckConvergence(bound int) (worst int, witness S, ok bool) {
+	d, w, ok := sys.Heights()
+	if !ok {
+		return 0, w, false
+	}
+	worst = 0
+	for _, s := range sys.States {
 		if d[s] > worst {
 			worst = d[s]
 		}

@@ -222,10 +222,12 @@ type Collector struct {
 	// increasing for the collector's lifetime, drains included.
 	Hook func(idx int, e Event)
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	//ssos:guarded-by mu
 	events []Event
 	// drained counts events removed by Drain; the absolute stream index
 	// of events[i] is drained+i.
+	//ssos:guarded-by mu
 	drained int
 }
 

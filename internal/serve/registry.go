@@ -69,18 +69,27 @@ type Registry struct {
 	opts    Options
 	workers int
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	//ssos:guarded-by mu
 	sessions map[string]*Session
-	order    []*Session // live sessions in creation order (eviction scan order)
-	nextID   uint64
-	clock    uint64
-	created  uint64
-	evicted  uint64
-	closed   bool
+	//ssos:guarded-by mu
+	order []*Session // live sessions in creation order (eviction scan order)
+	//ssos:guarded-by mu
+	nextID uint64
+	//ssos:guarded-by mu
+	clock uint64
+	//ssos:guarded-by mu
+	created uint64
+	//ssos:guarded-by mu
+	evicted uint64
+	//ssos:guarded-by mu
+	closed bool
 
-	qmu      sync.Mutex
-	qcond    *sync.Cond
-	runq     []*Session
+	qmu   sync.Mutex
+	qcond *sync.Cond
+	//ssos:guarded-by qmu
+	runq []*Session
+	//ssos:guarded-by qmu
 	stopping bool
 	wg       sync.WaitGroup
 }
@@ -260,6 +269,8 @@ func (r *Registry) Delete(id string) bool {
 
 // tick advances the logical clock one mutating operation and runs the
 // idle sweep. Caller holds mu.
+//
+//ssos:locked mu
 func (r *Registry) tick() {
 	r.clock++
 	if r.opts.IdleOps < 0 {
@@ -285,6 +296,8 @@ func (r *Registry) tick() {
 }
 
 // removeLocked unlinks a session from the table. Caller holds mu.
+//
+//ssos:locked mu
 func (r *Registry) removeLocked(s *Session) {
 	delete(r.sessions, s.ID)
 	for i, o := range r.order {

@@ -35,7 +35,9 @@ type Router struct {
 	// Publish (which runs under the collector lock) visits subscribers
 	// deterministically — and the detmap analyzer, which now covers this
 	// package, has no map iteration to squint at.
-	subs   []*Subscriber
+	//ssos:guarded-by mu
+	subs []*Subscriber
+	//ssos:guarded-by mu
 	closed bool
 }
 
@@ -116,12 +118,16 @@ func (r *Router) Subscribers() int {
 // Subscriber is one live event reader: a fixed-capacity ring of frames
 // plus a count of frames dropped since the last Take.
 type Subscriber struct {
-	mu      sync.Mutex
-	ring    []Frame
+	mu sync.Mutex
+	//ssos:guarded-by mu
+	ring []Frame
+	//ssos:guarded-by mu
 	head, n int
+	//ssos:guarded-by mu
 	dropped uint64
-	closed  bool
-	notify  chan struct{}
+	//ssos:guarded-by mu
+	closed bool
+	notify chan struct{}
 }
 
 // push appends a frame, overwriting the oldest when full.

@@ -43,11 +43,15 @@ type Session struct {
 	inj *fault.Injector
 	clu *cluster.Cluster
 
-	mu        sync.Mutex
-	queue     []*command
+	mu sync.Mutex
+	//ssos:guarded-by mu
+	queue []*command
+	//ssos:guarded-by mu
 	scheduled bool
-	closed    bool
-	closeErr  error
+	//ssos:guarded-by mu
+	closed bool
+	//ssos:guarded-by mu
+	closeErr error
 
 	// blocks/blockInstrs/blockBails mirror the machine's superblock
 	// telemetry for the concurrent-safe Prometheus scrape: refreshed at
